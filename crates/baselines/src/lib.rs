@@ -1,0 +1,36 @@
+//! Baseline parsers ParPaRaw is evaluated against (paper §2, §5.2).
+//!
+//! Four baselines, each representing one point in the design space the
+//! paper positions itself in:
+//!
+//! * [`sequential::SequentialParser`] — a classic single-threaded DFA
+//!   parser producing the same columnar output. Stands in for the
+//!   CPU-bound loaders (MonetDB / Spark / pandas) of Fig. 13 and doubles
+//!   as the ground truth for ParPaRaw's equivalence tests.
+//! * [`instant_loading::InstantLoadingParser`] — Mühlbauer et al.'s
+//!   chunked speculative parser: threads start at the first record
+//!   delimiter in their chunk. In *unsafe* mode, context-free splitting
+//!   genuinely mis-parses inputs with quoted delimiters (the "×" of
+//!   Fig. 13); *safe* mode adds the sequential context pre-pass the paper
+//!   criticises (Amdahl-bound).
+//! * [`quote_parity::QuoteParityParser`] — the format-specific
+//!   quote-counting exploit (Mison-style, paper §1/§2): fast, parallel,
+//!   correct on plain RFC 4180 — and demonstrably broken the moment the
+//!   dialect adds line comments.
+//! * [`seq_context::SeqContextGpuParser`] — a GPU-style data-parallel
+//!   parser whose context determination is a *sequential* pass (the
+//!   design cuDF-era readers approximate). Identical output to ParPaRaw;
+//!   its work profile carries the serial component that the cost model
+//!   turns into the Amdahl ceiling.
+
+#![warn(missing_docs)]
+
+pub mod instant_loading;
+pub mod quote_parity;
+pub mod seq_context;
+pub mod sequential;
+
+pub use instant_loading::{InstantLoadingMode, InstantLoadingParser};
+pub use quote_parity::QuoteParityParser;
+pub use seq_context::SeqContextGpuParser;
+pub use sequential::SequentialParser;

@@ -1,0 +1,37 @@
+//! Criterion wrapper for Figure 10: pipeline throughput vs input size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parparaw_bench::datasets::Dataset;
+use parparaw_core::{parse_csv, ParserOptions};
+use parparaw_parallel::Grid;
+
+fn fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_input_size");
+    g.sample_size(10);
+    for dataset in Dataset::ALL {
+        let data = dataset.generate(4 << 20);
+        for mb in [1usize, 4] {
+            let bytes = mb << 20;
+            g.throughput(Throughput::Bytes(bytes as u64));
+            g.bench_with_input(
+                BenchmarkId::new(dataset.short(), mb),
+                &bytes,
+                |b, &bytes| {
+                    let slice = &data[..bytes.min(data.len())];
+                    b.iter(|| {
+                        let opts = ParserOptions {
+                            grid: Grid::new(2),
+                            schema: Some(dataset.schema()),
+                            ..ParserOptions::default()
+                        };
+                        parse_csv(black_box(slice), opts).unwrap().stats.num_records
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion wrapper for Figure 11: tagging-mode cost plus skew robustness.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use parparaw_bench::datasets::Dataset;
+use parparaw_core::{parse_csv, ParserOptions, TaggingMode};
+use parparaw_parallel::Grid;
+
+fn fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_tagging_modes");
+    g.sample_size(10);
+    for dataset in Dataset::ALL {
+        let data = dataset.generate(2 << 20);
+        for (name, mode) in [
+            ("tagged", TaggingMode::RecordTagged),
+            ("inline", TaggingMode::inline_default()),
+            ("delimited", TaggingMode::VectorDelimited),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(dataset.short(), name),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| {
+                        let opts = ParserOptions {
+                            grid: Grid::new(2),
+                            schema: Some(dataset.schema()),
+                            tagging: mode,
+                            ..ParserOptions::default()
+                        };
+                        parse_csv(black_box(&data), opts).unwrap().stats.num_records
+                    })
+                },
+            );
+        }
+    }
+    // Skew robustness: same bytes, one giant record.
+    let original = parparaw_workloads::yelp::generate(2 << 20, 0xE11A5);
+    let skewed = parparaw_workloads::skewed::yelp_skewed(1 << 20, 1 << 20, 0xE11A5);
+    for (name, data) in [("original", &original), ("skewed", &skewed)] {
+        g.bench_function(BenchmarkId::new("skew", name), |b| {
+            b.iter(|| {
+                let opts = ParserOptions {
+                    grid: Grid::new(2),
+                    schema: Some(parparaw_workloads::yelp::schema()),
+                    ..ParserOptions::default()
+                };
+                parse_csv(black_box(data.as_slice()), opts).unwrap().stats.num_records
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion wrapper for Figure 12: streamed parse at different partition
+//! sizes (wall time of the threaded executor; the simulated end-to-end
+//! series comes from the `fig12` binary).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use parparaw_bench::datasets::Dataset;
+use parparaw_core::{Parser, ParserOptions};
+use parparaw_dfa::csv::{rfc4180, CsvDialect};
+use parparaw_parallel::Grid;
+
+fn fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_partition_size");
+    g.sample_size(10);
+    for dataset in Dataset::ALL {
+        let data = dataset.generate(2 << 20);
+        let parser = Parser::new(
+            rfc4180(&CsvDialect::default()),
+            ParserOptions {
+                grid: Grid::new(2),
+                schema: Some(dataset.schema()),
+                ..ParserOptions::default()
+            },
+        );
+        for kb in [256usize, 1024] {
+            g.bench_with_input(
+                BenchmarkId::new(dataset.short(), kb),
+                &(kb << 10),
+                |b, &ps| {
+                    b.iter(|| {
+                        parser
+                            .parse_stream(black_box(&data), ps)
+                            .unwrap()
+                            .table
+                            .num_rows()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

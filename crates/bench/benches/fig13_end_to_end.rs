@@ -1,0 +1,54 @@
+//! Criterion wrapper for Figure 13: wall time of every system on the same
+//! input (the simulated end-to-end series comes from the `fig13` binary).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use parparaw_baselines::{
+    InstantLoadingMode, InstantLoadingParser, QuoteParityParser, SequentialParser,
+};
+use parparaw_bench::datasets::Dataset;
+use parparaw_core::{Parser, ParserOptions};
+use parparaw_dfa::csv::{rfc4180, CsvDialect};
+use parparaw_parallel::Grid;
+
+fn fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_end_to_end");
+    g.sample_size(10);
+    // Taxi only in the wall benches: unsafe instant loading would corrupt
+    // (and crawl on) the yelp-like input, which the fig13 binary reports.
+    let dataset = Dataset::Taxi;
+    let data = dataset.generate(2 << 20);
+    let schema = dataset.schema();
+    let dfa = rfc4180(&CsvDialect::default());
+    let opts = ParserOptions {
+        grid: Grid::new(2),
+        schema: Some(schema.clone()),
+        ..ParserOptions::default()
+    };
+
+    g.bench_function(BenchmarkId::new("parparaw", "taxi"), |b| {
+        let parser = Parser::new(dfa.clone(), opts.clone());
+        b.iter(|| parser.parse(black_box(&data)).unwrap().stats.num_records)
+    });
+    g.bench_function(BenchmarkId::new("instant_safe", "taxi"), |b| {
+        let parser = InstantLoadingParser::new(
+            dfa.clone(),
+            Grid::new(2),
+            32,
+            InstantLoadingMode::Safe,
+            Some(schema.clone()),
+        );
+        b.iter(|| parser.parse(black_box(&data)).unwrap().table.num_rows())
+    });
+    g.bench_function(BenchmarkId::new("sequential", "taxi"), |b| {
+        let parser = SequentialParser::new(dfa.clone(), opts.clone());
+        b.iter(|| parser.parse(black_box(&data)).unwrap().table.num_rows())
+    });
+    g.bench_function(BenchmarkId::new("quote_parity", "taxi"), |b| {
+        let parser = QuoteParityParser::new(Grid::new(2), 4096, Some(schema.clone()));
+        b.iter(|| parser.parse(black_box(&data)).unwrap().table.num_rows())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig13);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerate paper Figure 9: per-step duration vs chunk size.
+//!
+//! Usage: `cargo run --release -p parparaw-bench --bin fig09 [--bytes 48M] [--workers N]`
+
+use parparaw_bench::datasets::Dataset;
+use parparaw_bench::{arg_size, fig09};
+
+fn main() {
+    let bytes = arg_size("--bytes", 16 << 20);
+    let workers = arg_size("--workers", 1);
+    for dataset in Dataset::ALL {
+        let rows = fig09::run(dataset, bytes, workers);
+        println!("{}", fig09::print(dataset, &rows));
+    }
+}

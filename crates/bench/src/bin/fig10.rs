@@ -1,0 +1,22 @@
+//! Regenerate paper Figure 10: parsing rate vs input size, including the
+//! §5.1 waypoints (peak rate, 10 MB, 1 MB).
+//!
+//! Usage: `cargo run --release -p parparaw-bench --bin fig10 [--bytes 64M] [--workers N]`
+
+use parparaw_bench::datasets::Dataset;
+use parparaw_bench::{arg_size, fig10};
+
+fn main() {
+    let max = arg_size("--bytes", 32 << 20);
+    let workers = arg_size("--workers", 1);
+    for dataset in Dataset::ALL {
+        let rows = fig10::run(dataset, max, workers);
+        println!("{}", fig10::print(dataset, &rows));
+        if let Some(last) = rows.last() {
+            println!(
+                "  §5.1 waypoint: peak simulated rate {} GB/s (paper: up to 14.2 GB/s)\n",
+                parparaw_bench::report::rate(last.sim_rate_gbps)
+            );
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerate paper Figure 12: end-to-end duration vs partition size.
+//!
+//! Usage: `cargo run --release -p parparaw-bench --bin fig12 [--bytes 32M] [--workers N]`
+
+use parparaw_bench::datasets::Dataset;
+use parparaw_bench::{arg_size, fig12};
+
+fn main() {
+    let bytes = arg_size("--bytes", 16 << 20);
+    let workers = arg_size("--workers", 1);
+    for dataset in Dataset::ALL {
+        let sizes = fig12::default_partition_sizes(bytes);
+        let rows = fig12::run(dataset, bytes, &sizes, workers);
+        println!("{}", fig12::print(dataset, &rows));
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerate paper Figure 13: end-to-end comparison vs the baselines,
+//! with extrapolation to the paper's full dataset sizes.
+//!
+//! Usage: `cargo run --release -p parparaw-bench --bin fig13 [--bytes 16M] [--workers N]`
+
+use parparaw_bench::datasets::Dataset;
+use parparaw_bench::{arg_size, fig13};
+
+fn main() {
+    let bytes = arg_size("--bytes", 8 << 20);
+    let workers = arg_size("--workers", 1);
+    for dataset in Dataset::ALL {
+        let rows = fig13::run(dataset, bytes, workers);
+        println!("{}", fig13::print(dataset, bytes, &rows));
+    }
+}

@@ -1,0 +1,51 @@
+//! Worker-count scaling of the real CPU implementation.
+//!
+//! The paper's thesis is linear scaling with core count. This container
+//! has one core, so run this on real multicore hardware:
+//!
+//! ```sh
+//! cargo run --release -p parparaw-bench --bin scaling -- --bytes 64M
+//! ```
+
+use parparaw_bench::datasets::Dataset;
+use parparaw_bench::{arg_size, report};
+use parparaw_core::{parse_csv, ParserOptions};
+use parparaw_parallel::Grid;
+
+fn main() {
+    let bytes = arg_size("--bytes", 16 << 20);
+    let max_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("machine reports {max_workers} hardware threads\n");
+    for dataset in Dataset::ALL {
+        let data = dataset.generate(bytes);
+        let mut rows = Vec::new();
+        let mut base = None;
+        let mut w = 1;
+        while w <= max_workers * 2 {
+            let opts = ParserOptions {
+                grid: Grid::new(w),
+                schema: Some(dataset.schema()),
+                ..ParserOptions::default()
+            };
+            let t0 = std::time::Instant::now();
+            let out = parse_csv(&data, opts).expect("parses");
+            let secs = t0.elapsed().as_secs_f64();
+            let _ = out.stats.num_records;
+            let base_secs = *base.get_or_insert(secs);
+            rows.push(vec![
+                w.to_string(),
+                report::ms(secs * 1e3),
+                format!("{:.2}x", base_secs / secs),
+            ]);
+            w *= 2;
+        }
+        println!(
+            "{}: wall time vs workers ({} MB)\n{}",
+            dataset.name(),
+            bytes >> 20,
+            report::table(&["workers", "wall (ms)", "speedup"], &rows)
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerate paper Tables 1 and 2: the RFC 4180 transition table and the
+//! SWAR worked example.
+
+use parparaw_dfa::csv::rfc4180_paper;
+use parparaw_dfa::swar::{bfind, h, SwarMatcher};
+
+fn main() {
+    let dfa = rfc4180_paper();
+    println!("Table 1: transition table of the paper's six-state CSV DFA\n");
+    println!("{}", dfa.table_string());
+
+    println!("Table 2: SWAR symbol-index identification, worked example\n");
+    let symbols = [(b'\n', 0u8), (b'"', 1), (b',', 2), (b'|', 2), (b'\t', 2)];
+    let m = SwarMatcher::new(&symbols, 3);
+    let s: u8 = b',';
+    println!("  read symbol: {:?} (0x{:02X})", s as char, s);
+    for (r, &lu) in m.registers().iter().enumerate() {
+        let c = lu ^ (u32::from(s) * 0x0101_0101);
+        let swar = h(c);
+        println!(
+            "  LU[{r}] = {:08X}  c = LU XOR s = {:08X}  H(c) = {:08X}  bfind>>3 = {:#X}",
+            lu,
+            c,
+            swar,
+            bfind(swar) >> 3
+        );
+    }
+    println!("  matched index = {}", m.match_index(s));
+    println!("  symbol group  = {} (expected 2)", m.group_of(s));
+}

@@ -1,0 +1,64 @@
+//! Dataset handles shared by all experiments.
+
+use parparaw_columnar::Schema;
+
+/// The two evaluation datasets of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// Yelp-reviews stand-in: 9 quoted columns, long text fields.
+    Yelp,
+    /// NYC-taxi stand-in: 17 short numeric/temporal columns.
+    Taxi,
+}
+
+impl Dataset {
+    /// Both datasets, in the paper's order.
+    pub const ALL: [Dataset; 2] = [Dataset::Yelp, Dataset::Taxi];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Yelp => "yelp reviews (synthetic)",
+            Dataset::Taxi => "NYC taxi trips (synthetic)",
+        }
+    }
+
+    /// Short name for table rows.
+    pub fn short(self) -> &'static str {
+        match self {
+            Dataset::Yelp => "yelp",
+            Dataset::Taxi => "NYC",
+        }
+    }
+
+    /// Generate `bytes` of this dataset (seeded, deterministic).
+    pub fn generate(self, bytes: usize) -> Vec<u8> {
+        match self {
+            Dataset::Yelp => parparaw_workloads::yelp::generate(bytes, 0xE11A5),
+            Dataset::Taxi => parparaw_workloads::taxi::generate(bytes, 0x7A71),
+        }
+    }
+
+    /// The dataset's schema.
+    pub fn schema(self) -> Schema {
+        match self {
+            Dataset::Yelp => parparaw_workloads::yelp::schema(),
+            Dataset::Taxi => parparaw_workloads::taxi::schema(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_both() {
+        for d in Dataset::ALL {
+            let data = d.generate(10_000);
+            assert!(data.len() >= 10_000);
+            assert!(!d.name().is_empty());
+            assert!(d.schema().num_columns() >= 9);
+        }
+    }
+}

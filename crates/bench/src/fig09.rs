@@ -1,0 +1,124 @@
+//! Figure 9: time per processing step as a function of chunk size.
+//!
+//! The paper sweeps 4–64 bytes per chunk over 512 MB of each dataset and
+//! finds 31 bytes optimal, with tiny chunks hurting parse/tag/scan and
+//! 32/48/64-byte chunks showing small occupancy spikes. We sweep the same
+//! chunk sizes at a configurable input size and report both wall and
+//! simulated per-phase breakdowns.
+
+use crate::datasets::Dataset;
+use crate::report;
+use parparaw_core::{parse_csv, ParserOptions};
+use parparaw_parallel::Grid;
+
+/// The paper's sweep points.
+pub const CHUNK_SIZES: [usize; 8] = [4, 8, 16, 24, 31, 32, 48, 64];
+
+/// One sweep point.
+#[derive(Debug)]
+pub struct Row {
+    /// Bytes per chunk.
+    pub chunk_size: usize,
+    /// (phase, wall ms) in the paper's legend order.
+    pub wall_ms: Vec<(String, f64)>,
+    /// (phase, simulated ms) on the Titan-X model.
+    pub sim_ms: Vec<(String, f64)>,
+    /// Total simulated ms.
+    pub sim_total_ms: f64,
+    /// Total wall ms.
+    pub wall_total_ms: f64,
+}
+
+/// Run the sweep for one dataset.
+pub fn run(dataset: Dataset, bytes: usize, workers: usize) -> Vec<Row> {
+    let data = dataset.generate(bytes);
+    let schema = dataset.schema();
+    CHUNK_SIZES
+        .iter()
+        .map(|&cs| {
+            let opts = ParserOptions {
+                grid: Grid::new(workers),
+                schema: Some(schema.clone()),
+                ..ParserOptions::default()
+            }
+            .chunk_size(cs);
+            let out = parse_csv(&data, opts).expect("dataset parses");
+            let wall_ms: Vec<(String, f64)> = out
+                .timings
+                .phases()
+                .iter()
+                .map(|(n, d)| (n.to_string(), d.as_secs_f64() * 1e3))
+                .collect();
+            let sim_ms: Vec<(String, f64)> = out
+                .simulated
+                .phases
+                .iter()
+                .map(|(n, s)| (n.clone(), s * 1e3))
+                .collect();
+            Row {
+                chunk_size: cs,
+                wall_total_ms: out.timings.total().as_secs_f64() * 1e3,
+                sim_total_ms: out.simulated.total_seconds * 1e3,
+                wall_ms,
+                sim_ms,
+            }
+        })
+        .collect()
+}
+
+/// Print in the paper's layout (one stacked series per chunk size).
+pub fn print(dataset: Dataset, rows: &[Row]) -> String {
+    let phases = ["convert", "scan", "partition", "parse", "tag"];
+    let mut headers = vec!["chunk", "sim total"];
+    headers.extend(phases.iter().map(|p| *p));
+    headers.push("wall total");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.chunk_size.to_string(), report::ms(r.sim_total_ms)];
+            for p in &phases {
+                let v = r
+                    .sim_ms
+                    .iter()
+                    .find(|(n, _)| n == p)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0.0);
+                cells.push(report::ms(v));
+            }
+            cells.push(report::ms(r.wall_total_ms));
+            cells
+        })
+        .collect();
+    format!(
+        "Figure 9 ({}): per-step duration vs chunk size (sim ms on Titan X model)\n{}",
+        dataset.name(),
+        report::table(&headers, &table_rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_shapes_hold() {
+        let rows = run(Dataset::Taxi, 200_000, 2);
+        assert_eq!(rows.len(), CHUNK_SIZES.len());
+        // Tiny chunks must cost more (sim) than the paper's optimum.
+        let at = |cs: usize| {
+            rows.iter()
+                .find(|r| r.chunk_size == cs)
+                .unwrap()
+                .sim_total_ms
+        };
+        assert!(
+            at(4) > at(31),
+            "4-byte chunks ({}) should be slower than 31 ({})",
+            at(4),
+            at(31)
+        );
+        let text = print(Dataset::Taxi, &rows);
+        assert!(text.contains("chunk"));
+        assert!(text.contains("31"));
+    }
+}

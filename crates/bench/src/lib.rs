@@ -1,0 +1,60 @@
+//! Experiment harness regenerating the ParPaRaw evaluation (paper §5).
+//!
+//! One module per figure; each exposes a `run(...)` returning structured
+//! rows and a `print(...)` producing the same series the paper plots. The
+//! binaries (`fig09` … `fig13`, `tables`) are thin wrappers; the criterion
+//! benches reuse the same entry points.
+//!
+//! Two time axes are reported everywhere, per the hardware substitution
+//! documented in `DESIGN.md`:
+//!
+//! * **wall** — real wall-clock milliseconds on this host (single CPU
+//!   core in CI; correct but not GPU-shaped);
+//! * **sim** — the measured per-kernel work profiles replayed through the
+//!   Titan-X-Pascal cost model, the series whose *shape* is compared to
+//!   the paper's figures.
+
+pub mod datasets;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod report;
+
+/// Parse `--bytes 32M`-style CLI sizes (accepts `K`, `M`, `G` suffixes).
+pub fn parse_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1usize << 10),
+        'm' | 'M' => (&s[..s.len() - 1], 1usize << 20),
+        'g' | 'G' => (&s[..s.len() - 1], 1usize << 30),
+        _ => (s, 1),
+    };
+    num.trim().parse::<f64>().ok().map(|v| (v * mult as f64) as usize)
+}
+
+/// Read `--bytes`/`--workers` style flags from `std::env::args`.
+pub fn arg_size(flag: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| parse_size(v))
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_parse() {
+        assert_eq!(parse_size("512"), Some(512));
+        assert_eq!(parse_size("4K"), Some(4096));
+        assert_eq!(parse_size("2M"), Some(2 << 20));
+        assert_eq!(parse_size("1.5M"), Some(3 << 19));
+        assert_eq!(parse_size("1g"), Some(1 << 30));
+        assert_eq!(parse_size("x"), None);
+    }
+}

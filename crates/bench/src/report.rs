@@ -1,0 +1,83 @@
+//! Report formatting shared by the figure binaries.
+
+/// Render rows of (label, values...) as an aligned text table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String], widths: &[usize]| {
+        for (w, cell) in widths.iter().zip(cells) {
+            out.push_str(&format!("| {cell:>w$} "));
+        }
+        out.push_str("|\n");
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    );
+    for w in &widths {
+        out.push_str(&format!("|{:-<width$}", "", width = w + 2));
+    }
+    out.push_str("|\n");
+    for row in rows {
+        line(&mut out, row, &widths);
+    }
+    out
+}
+
+/// `12.345` → `"12.3"`, smart precision for milliseconds/seconds.
+pub fn ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Seconds with 2-3 significant digits.
+pub fn secs(v: f64) -> String {
+    if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// GB/s with 2 decimals.
+pub fn rate(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let t = table(
+            &["a", "value"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("longer"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(ms(123.4), "123");
+        assert_eq!(ms(12.34), "12.3");
+        assert_eq!(ms(1.234), "1.23");
+        assert_eq!(secs(0.44), "0.44");
+        assert_eq!(rate(14.2), "14.20");
+    }
+}

@@ -1,0 +1,301 @@
+//! Small column-level compute kernels.
+//!
+//! The paper motivates fast parsing with in-situ analytics — data should
+//! be queryable the moment it is columnar. These helpers provide the
+//! minimal aggregation surface the examples and tests use to demonstrate
+//! that: sums, min/max, null-aware counts, and a small-domain group-by.
+//! They are deliberately simple (no SIMD, no expression trees) — the
+//! contribution under test is the parser, not a query engine.
+
+use crate::column::{Column, ColumnData};
+use crate::validity::Validity;
+use crate::value::Value;
+
+/// Sum of a numeric column, skipping NULLs. Integer sums widen to `i128`;
+/// float sums use `f64`. Returns `None` for non-numeric columns.
+pub fn sum(column: &Column) -> Option<Value> {
+    let valid = |i: usize| column.is_valid(i);
+    Some(match column.data() {
+        ColumnData::Int8(v) => Value::Int64(
+            v.iter()
+                .enumerate()
+                .filter(|(i, _)| valid(*i))
+                .map(|(_, &x)| x as i64)
+                .sum(),
+        ),
+        ColumnData::Int16(v) => Value::Int64(
+            v.iter()
+                .enumerate()
+                .filter(|(i, _)| valid(*i))
+                .map(|(_, &x)| x as i64)
+                .sum(),
+        ),
+        ColumnData::Int32(v) => Value::Int64(
+            v.iter()
+                .enumerate()
+                .filter(|(i, _)| valid(*i))
+                .map(|(_, &x)| x as i64)
+                .sum(),
+        ),
+        ColumnData::Int64(v) => Value::Int64(
+            v.iter()
+                .enumerate()
+                .filter(|(i, _)| valid(*i))
+                .map(|(_, &x)| x)
+                .sum(),
+        ),
+        ColumnData::Float64(v) => Value::Float64(
+            v.iter()
+                .enumerate()
+                .filter(|(i, _)| valid(*i))
+                .map(|(_, &x)| x)
+                .sum(),
+        ),
+        ColumnData::Decimal128(v, scale) => Value::Decimal128(
+            v.iter()
+                .enumerate()
+                .filter(|(i, _)| valid(*i))
+                .map(|(_, &x)| x)
+                .sum(),
+            *scale,
+        ),
+        _ => return None,
+    })
+}
+
+/// Count of non-null values.
+pub fn count(column: &Column) -> u64 {
+    (column.len() - column.null_count()) as u64
+}
+
+/// Minimum non-null value (as a [`Value`]), or `Value::Null` for an
+/// all-null/empty column.
+pub fn min(column: &Column) -> Value {
+    min_max(column, true)
+}
+
+/// Maximum non-null value.
+pub fn max(column: &Column) -> Value {
+    min_max(column, false)
+}
+
+fn min_max(column: &Column, want_min: bool) -> Value {
+    let mut best: Option<Value> = None;
+    for i in 0..column.len() {
+        let v = column.value(i);
+        if v.is_null() {
+            continue;
+        }
+        best = Some(match best {
+            None => v,
+            Some(b) => {
+                if (value_lt(&v, &b)) == want_min {
+                    v
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    best.unwrap_or(Value::Null)
+}
+
+fn value_lt(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int64(x), Value::Int64(y)) => x < y,
+        (Value::Float64(x), Value::Float64(y)) => x < y,
+        (Value::Decimal128(x, _), Value::Decimal128(y, _)) => x < y,
+        (Value::Date32(x), Value::Date32(y)) => x < y,
+        (Value::TimestampMicros(x), Value::TimestampMicros(y)) => x < y,
+        (Value::Utf8(x), Value::Utf8(y)) => x < y,
+        (Value::Boolean(x), Value::Boolean(y)) => !x & y,
+        _ => false,
+    }
+}
+
+/// Group row counts by an integer key column with a small domain.
+/// Returns `(key, count)` pairs sorted by key; NULL keys are skipped.
+pub fn group_count_by_int(column: &Column) -> Vec<(i64, u64)> {
+    let mut counts: std::collections::BTreeMap<i64, u64> = Default::default();
+    for i in 0..column.len() {
+        if let Value::Int64(k) = column.value(i) {
+            *counts.entry(k).or_default() += 1;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validity::Validity;
+
+    #[test]
+    fn sums_with_nulls() {
+        let mut v = Validity::with_len(4, true);
+        v.set(2, false);
+        let c = Column::new(ColumnData::Int64(vec![1, 2, 100, 3]), Some(v)).unwrap();
+        assert_eq!(sum(&c), Some(Value::Int64(6)));
+        assert_eq!(count(&c), 3);
+    }
+
+    #[test]
+    fn sums_all_numeric_types() {
+        assert_eq!(
+            sum(&Column::new(ColumnData::Int8(vec![1, 2]), None).unwrap()),
+            Some(Value::Int64(3))
+        );
+        assert_eq!(
+            sum(&Column::from_f64(vec![0.5, 1.5], None)),
+            Some(Value::Float64(2.0))
+        );
+        assert_eq!(
+            sum(&Column::new(ColumnData::Decimal128(vec![150, -50], 2), None).unwrap()),
+            Some(Value::Decimal128(100, 2))
+        );
+        assert_eq!(sum(&Column::from_strings(&["a"])), None);
+    }
+
+    #[test]
+    fn min_max_values() {
+        let c = Column::from_i64(vec![5, -1, 3], None);
+        assert_eq!(min(&c), Value::Int64(-1));
+        assert_eq!(max(&c), Value::Int64(5));
+        let c = Column::from_strings(&["pear", "apple"]);
+        assert_eq!(min(&c), Value::Utf8("apple".into()));
+        let empty = Column::from_i64(vec![], None);
+        assert_eq!(min(&empty), Value::Null);
+    }
+
+    #[test]
+    fn group_counts() {
+        let c = Column::from_i64(vec![2, 1, 2, 2, 1], None);
+        assert_eq!(group_count_by_int(&c), vec![(1, 2), (2, 3)]);
+    }
+}
+
+/// Row indexes where `pred` holds (NULLs never match).
+pub fn filter_indexes<F>(column: &Column, pred: F) -> Vec<usize>
+where
+    F: Fn(&Value) -> bool,
+{
+    (0..column.len())
+        .filter(|&i| {
+            let v = column.value(i);
+            !v.is_null() && pred(&v)
+        })
+        .collect()
+}
+
+/// Take the given rows (in order) out of a column into a new column.
+pub fn take(column: &Column, rows: &[usize]) -> Column {
+    let needs_validity = rows.iter().any(|&r| !column.is_valid(r));
+    let validity = needs_validity.then(|| {
+        let mut v = Validity::new();
+        for &r in rows {
+            v.push(column.is_valid(r));
+        }
+        v
+    });
+    macro_rules! gather {
+        ($v:expr, $wrap:expr) => {
+            $wrap(rows.iter().map(|&r| $v[r].clone()).collect())
+        };
+    }
+    let data = match column.data() {
+        ColumnData::Boolean(v) => gather!(v, ColumnData::Boolean),
+        ColumnData::Int8(v) => gather!(v, ColumnData::Int8),
+        ColumnData::Int16(v) => gather!(v, ColumnData::Int16),
+        ColumnData::Int32(v) => gather!(v, ColumnData::Int32),
+        ColumnData::Int64(v) => gather!(v, ColumnData::Int64),
+        ColumnData::Float64(v) => gather!(v, ColumnData::Float64),
+        ColumnData::Date32(v) => gather!(v, ColumnData::Date32),
+        ColumnData::TimestampMicros(v) => gather!(v, ColumnData::TimestampMicros),
+        ColumnData::Decimal128(v, scale) => {
+            ColumnData::Decimal128(rows.iter().map(|&r| v[r]).collect(), *scale)
+        }
+        ColumnData::Utf8 { offsets, values } => {
+            let mut new_offsets = Vec::with_capacity(rows.len() + 1);
+            let mut new_values = Vec::new();
+            new_offsets.push(0u64);
+            for &r in rows {
+                new_values
+                    .extend_from_slice(&values[offsets[r] as usize..offsets[r + 1] as usize]);
+                new_offsets.push(new_values.len() as u64);
+            }
+            ColumnData::Utf8 {
+                offsets: new_offsets,
+                values: new_values,
+            }
+        }
+    };
+    Column::new(data, validity).expect("gathered buffers are consistent")
+}
+
+/// Filter a whole table by a predicate over one of its columns.
+pub fn filter_table(
+    table: &crate::table::Table,
+    column: usize,
+    pred: impl Fn(&Value) -> bool,
+) -> crate::table::Table {
+    let rows = filter_indexes(table.column(column), pred);
+    let columns: Vec<Column> = table.columns().iter().map(|c| take(c, &rows)).collect();
+    crate::table::Table::new(table.schema().clone(), columns)
+        .expect("filtered columns stay aligned")
+}
+
+#[cfg(test)]
+mod filter_tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::schema::{Field, Schema};
+    use crate::table::Table;
+    use crate::validity::Validity;
+
+    fn t() -> Table {
+        let mut v = Validity::with_len(4, true);
+        v.set(3, false);
+        Table::new(
+            Schema::new(vec![
+                Field::new("k", DataType::Int64),
+                Field::new("s", DataType::Utf8),
+            ]),
+            vec![
+                Column::new(ColumnData::Int64(vec![5, -2, 9, 0]), Some(v)).unwrap(),
+                Column::from_strings(&["a", "bb", "ccc", "d"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_and_take() {
+        let table = t();
+        let out = filter_table(&table, 0, |v| matches!(v, Value::Int64(x) if *x > 0));
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, 1), Value::Utf8("a".into()));
+        assert_eq!(out.value(1, 1), Value::Utf8("ccc".into()));
+    }
+
+    #[test]
+    fn nulls_never_match() {
+        let table = t();
+        let out = filter_table(&table, 0, |_| true);
+        assert_eq!(out.num_rows(), 3, "the NULL row is dropped");
+    }
+
+    #[test]
+    fn take_preserves_validity() {
+        let table = t();
+        let c = take(table.column(0), &[3, 0]);
+        assert_eq!(c.value(0), Value::Null);
+        assert_eq!(c.value(1), Value::Int64(5));
+    }
+
+    #[test]
+    fn take_empty() {
+        let table = t();
+        let c = take(table.column(1), &[]);
+        assert_eq!(c.len(), 0);
+    }
+}

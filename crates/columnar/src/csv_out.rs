@@ -1,0 +1,152 @@
+//! Writing tables back out as RFC 4180 CSV.
+//!
+//! The inverse of the parser: used by round-trip property tests
+//! (parse → write → parse must be the identity) and by the CLI to emit
+//! normalised CSV. Fields are quoted only when they need to be (contain
+//! the delimiter, a quote, or a newline); embedded quotes are doubled;
+//! NULLs render as empty fields.
+
+use crate::table::Table;
+use crate::value::Value;
+
+/// Options for CSV output.
+#[derive(Debug, Clone)]
+pub struct CsvWriteOptions {
+    /// Field delimiter (`,` by default).
+    pub delimiter: u8,
+    /// Quote character (`"` by default).
+    pub quote: u8,
+    /// Emit a header row with the column names.
+    pub header: bool,
+}
+
+impl Default for CsvWriteOptions {
+    fn default() -> Self {
+        CsvWriteOptions {
+            delimiter: b',',
+            quote: b'"',
+            header: false,
+        }
+    }
+}
+
+/// Serialise the whole table as CSV bytes.
+pub fn write_csv(table: &Table, opts: &CsvWriteOptions) -> Vec<u8> {
+    let mut out = Vec::with_capacity(table.buffer_bytes());
+    if opts.header {
+        for (c, f) in table.schema().fields.iter().enumerate() {
+            if c > 0 {
+                out.push(opts.delimiter);
+            }
+            write_field(&mut out, f.name.as_bytes(), opts);
+        }
+        out.push(b'\n');
+    }
+    let mut cell = String::new();
+    for row in 0..table.num_rows() {
+        for col in 0..table.num_columns() {
+            if col > 0 {
+                out.push(opts.delimiter);
+            }
+            match table.value(row, col) {
+                Value::Null => {}
+                Value::Utf8(s) => write_field(&mut out, s.as_bytes(), opts),
+                v => {
+                    cell.clear();
+                    use std::fmt::Write;
+                    let _ = write!(cell, "{v}");
+                    write_field(&mut out, cell.as_bytes(), opts);
+                }
+            }
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+fn write_field(out: &mut Vec<u8>, bytes: &[u8], opts: &CsvWriteOptions) {
+    let needs_quoting = bytes
+        .iter()
+        .any(|&b| b == opts.delimiter || b == opts.quote || b == b'\n' || b == b'\r');
+    if !needs_quoting {
+        out.extend_from_slice(bytes);
+        return;
+    }
+    out.push(opts.quote);
+    for &b in bytes {
+        if b == opts.quote {
+            out.push(opts.quote);
+        }
+        out.push(b);
+    }
+    out.push(opts.quote);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::datatype::DataType;
+    use crate::schema::{Field, Schema};
+    use crate::validity::Validity;
+
+    fn sample() -> Table {
+        let mut v = Validity::with_len(3, true);
+        v.set(2, false);
+        Table::new(
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("name", DataType::Utf8),
+            ]),
+            vec![
+                Column::new(crate::column::ColumnData::Int64(vec![1, 2, 0]), Some(v)).unwrap(),
+                Column::from_strings(&["plain", "with, comma\nand \"quotes\"", "x"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn writes_quoting_only_when_needed() {
+        let csv = write_csv(&sample(), &CsvWriteOptions::default());
+        let text = String::from_utf8(csv).unwrap();
+        assert_eq!(
+            text,
+            "1,plain\n2,\"with, comma\nand \"\"quotes\"\"\"\n,x\n"
+        );
+    }
+
+    #[test]
+    fn header_row() {
+        let csv = write_csv(
+            &sample(),
+            &CsvWriteOptions {
+                header: true,
+                ..CsvWriteOptions::default()
+            },
+        );
+        assert!(csv.starts_with(b"id,name\n"));
+    }
+
+    #[test]
+    fn alternative_delimiter() {
+        let csv = write_csv(
+            &sample(),
+            &CsvWriteOptions {
+                delimiter: b'|',
+                ..CsvWriteOptions::default()
+            },
+        );
+        let text = String::from_utf8(csv).unwrap();
+        assert!(text.starts_with("1|plain\n"));
+        // Commas no longer need quoting, but the newline still does.
+        assert!(text.contains("\"with, comma\nand \"\"quotes\"\"\""));
+    }
+
+    #[test]
+    fn nulls_are_empty_fields() {
+        let csv = write_csv(&sample(), &CsvWriteOptions::default());
+        // The NULL id of the last record renders as an empty field.
+        assert!(String::from_utf8(csv).unwrap().ends_with("\n,x\n"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Logical data types and the inference lattice.
+
+/// Logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// `true` / `false` (also accepts `1`/`0`, `t`/`f`, `yes`/`no`, `Y`/`N`
+    /// during conversion).
+    Boolean,
+    /// Signed 8-bit integer.
+    Int8,
+    /// Signed 16-bit integer.
+    Int16,
+    /// Signed 32-bit integer.
+    Int32,
+    /// Signed 64-bit integer.
+    Int64,
+    /// IEEE 754 double.
+    Float64,
+    /// Fixed-point decimal with `scale` fractional digits, backed by
+    /// `i128` (e.g. money columns in the taxi dataset).
+    Decimal128 {
+        /// Number of fractional digits.
+        scale: u8,
+    },
+    /// Days since the Unix epoch.
+    Date32,
+    /// Microseconds since the Unix epoch.
+    TimestampMicros,
+    /// UTF-8 string (offsets + values buffers).
+    Utf8,
+}
+
+impl DataType {
+    /// Whether values of this type require parsing digits.
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            DataType::Int8
+                | DataType::Int16
+                | DataType::Int32
+                | DataType::Int64
+                | DataType::Float64
+                | DataType::Decimal128 { .. }
+        )
+    }
+
+    /// Whether this is a temporal type.
+    pub fn is_temporal(self) -> bool {
+        matches!(self, DataType::Date32 | DataType::TimestampMicros)
+    }
+
+    /// Width in bytes of one value in the output buffer (strings report
+    /// the offset-entry width).
+    pub fn value_width(self) -> usize {
+        match self {
+            DataType::Boolean | DataType::Int8 => 1,
+            DataType::Int16 => 2,
+            DataType::Int32 | DataType::Date32 => 4,
+            DataType::Int64 | DataType::Float64 | DataType::TimestampMicros => 8,
+            DataType::Decimal128 { .. } => 16,
+            DataType::Utf8 => 8,
+        }
+    }
+
+    /// Rank in the numeric-inference lattice (paper §4.3: "threads identify
+    /// the minimum numerical type being required to back their field
+    /// value", then a max-reduction yields the column type). Higher rank =
+    /// more general.
+    pub fn inference_rank(self) -> u8 {
+        match self {
+            DataType::Boolean => 0,
+            DataType::Int8 => 1,
+            DataType::Int16 => 2,
+            DataType::Int32 => 3,
+            DataType::Int64 => 4,
+            DataType::Float64 => 5,
+            DataType::Decimal128 { .. } => 5,
+            DataType::Date32 => 6,
+            DataType::TimestampMicros => 7,
+            DataType::Utf8 => 8,
+        }
+    }
+
+    /// Recover a type from its inference rank.
+    pub fn from_inference_rank(rank: u8) -> DataType {
+        match rank {
+            0 => DataType::Boolean,
+            1 => DataType::Int8,
+            2 => DataType::Int16,
+            3 => DataType::Int32,
+            4 => DataType::Int64,
+            5 => DataType::Float64,
+            6 => DataType::Date32,
+            7 => DataType::TimestampMicros,
+            _ => DataType::Utf8,
+        }
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataType::Boolean => write!(f, "bool"),
+            DataType::Int8 => write!(f, "i8"),
+            DataType::Int16 => write!(f, "i16"),
+            DataType::Int32 => write!(f, "i32"),
+            DataType::Int64 => write!(f, "i64"),
+            DataType::Float64 => write!(f, "f64"),
+            DataType::Decimal128 { scale } => write!(f, "decimal({scale})"),
+            DataType::Date32 => write!(f, "date"),
+            DataType::TimestampMicros => write!(f, "timestamp"),
+            DataType::Utf8 => write!(f, "utf8"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_predicates() {
+        assert!(DataType::Int64.is_numeric());
+        assert!(DataType::Decimal128 { scale: 2 }.is_numeric());
+        assert!(!DataType::Utf8.is_numeric());
+        assert!(DataType::Date32.is_temporal());
+        assert_eq!(DataType::Int32.value_width(), 4);
+        assert_eq!(DataType::Decimal128 { scale: 2 }.value_width(), 16);
+    }
+
+    #[test]
+    fn inference_rank_roundtrip() {
+        for t in [
+            DataType::Boolean,
+            DataType::Int8,
+            DataType::Int16,
+            DataType::Int32,
+            DataType::Int64,
+            DataType::Float64,
+            DataType::Date32,
+            DataType::TimestampMicros,
+            DataType::Utf8,
+        ] {
+            assert_eq!(DataType::from_inference_rank(t.inference_rank()), t);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataType::Utf8.to_string(), "utf8");
+        assert_eq!(DataType::Decimal128 { scale: 2 }.to_string(), "decimal(2)");
+    }
+}

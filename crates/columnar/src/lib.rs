@@ -1,0 +1,55 @@
+//! An Arrow-like columnar memory format, ParPaRaw's output.
+//!
+//! The paper configures ParPaRaw's output "to comply with the format
+//! specified by Apache Arrow" (§5): fixed-width columns as contiguous value
+//! buffers with validity bitmaps, and string columns as an offsets buffer
+//! plus a concatenated values buffer. This crate is a from-scratch
+//! implementation of exactly that surface — enough for the parser to
+//! produce, the benchmarks to measure, and tests to inspect — without any
+//! dependency on the Arrow crates.
+//!
+//! * [`DataType`] / [`Schema`] / [`Field`] — logical types and table
+//!   schemas, including per-field default values (paper §4.3);
+//! * [`Column`] — typed value buffers with validity;
+//! * [`Table`] — a schema plus equal-length columns, with cell access and
+//!   pretty-printing for tests and examples.
+//!
+//! # Example
+//!
+//! ```
+//! use parparaw_columnar::{Column, DataType, Field, Schema, Table, Value};
+//!
+//! let schema = Schema::new(vec![
+//!     Field::new("id", DataType::Int64),
+//!     Field::new("name", DataType::Utf8),
+//! ]);
+//! let table = Table::new(
+//!     schema,
+//!     vec![
+//!         Column::from_i64(vec![1, 2], None),
+//!         Column::from_strings(&["Bookcase", "Frame"]),
+//!     ],
+//! )
+//! .unwrap();
+//! assert_eq!(table.num_rows(), 2);
+//! assert_eq!(table.value(1, 1), Value::Utf8("Frame".into()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod compute;
+pub mod csv_out;
+pub mod datatype;
+pub mod ipc;
+pub mod schema;
+pub mod table;
+pub mod validity;
+pub mod value;
+
+pub use column::{Column, ColumnData};
+pub use datatype::DataType;
+pub use schema::{Field, Schema};
+pub use table::Table;
+pub use validity::Validity;
+pub use value::Value;

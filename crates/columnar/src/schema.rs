@@ -1,0 +1,109 @@
+//! Schemas: named, typed fields with per-field defaults.
+
+use crate::datatype::DataType;
+use crate::value::Value;
+
+/// One column's description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Logical type.
+    pub data_type: DataType,
+    /// Whether missing/empty fields become NULL (true) or an error when no
+    /// default is given (false).
+    pub nullable: bool,
+    /// Default used for empty fields when set (paper §4.3, "Default values
+    /// for empty strings").
+    pub default: Option<Value>,
+}
+
+impl Field {
+    /// A nullable field without a default.
+    pub fn new(name: &str, data_type: DataType) -> Self {
+        Field {
+            name: name.to_string(),
+            data_type,
+            nullable: true,
+            default: None,
+        }
+    }
+
+    /// Set the default value for empty fields.
+    pub fn with_default(mut self, default: Value) -> Self {
+        self.default = Some(default);
+        self
+    }
+
+    /// Mark the field non-nullable.
+    pub fn non_nullable(mut self) -> Self {
+        self.nullable = false;
+        self
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    /// The fields, in column order.
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Look up a field index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// A schema of `n` Utf8 columns named `c0..c{n-1}` — what inference
+    /// starts from when no schema is provided.
+    pub fn all_utf8(n: usize) -> Self {
+        Schema {
+            fields: (0..n)
+                .map(|i| Field::new(&format!("c{i}"), DataType::Utf8))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_builders() {
+        let f = Field::new("stars", DataType::Int64)
+            .with_default(Value::Int64(0))
+            .non_nullable();
+        assert_eq!(f.default, Some(Value::Int64(0)));
+        assert!(!f.nullable);
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Utf8),
+        ]);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert_eq!(s.num_columns(), 2);
+    }
+
+    #[test]
+    fn all_utf8_names() {
+        let s = Schema::all_utf8(3);
+        assert_eq!(s.fields[2].name, "c2");
+        assert_eq!(s.fields[0].data_type, DataType::Utf8);
+    }
+}

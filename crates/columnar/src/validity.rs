@@ -1,0 +1,138 @@
+//! Validity (null) bitmaps, Arrow-style: bit set = value present.
+
+/// A growable validity bitmap.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Validity {
+    words: Vec<u64>,
+    len: usize,
+    valid_count: usize,
+}
+
+impl Validity {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Validity::default()
+    }
+
+    /// A bitmap of `len` entries, all valid or all null.
+    pub fn with_len(len: usize, valid: bool) -> Self {
+        let mut words = vec![if valid { u64::MAX } else { 0 }; len.div_ceil(64)];
+        if valid {
+            // Mask bits past the end so counts stay exact.
+            let rem = len % 64;
+            if rem != 0 {
+                if let Some(last) = words.last_mut() {
+                    *last = (1u64 << rem) - 1;
+                }
+            }
+        }
+        Validity {
+            words,
+            len,
+            valid_count: if valid { len } else { 0 },
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of valid (non-null) entries.
+    pub fn valid_count(&self) -> usize {
+        self.valid_count
+    }
+
+    /// Number of nulls.
+    pub fn null_count(&self) -> usize {
+        self.len - self.valid_count
+    }
+
+    /// Whether entry `i` is valid.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// Append one entry.
+    pub fn push(&mut self, valid: bool) {
+        let i = self.len;
+        if i >> 6 == self.words.len() {
+            self.words.push(0);
+        }
+        if valid {
+            self.words[i >> 6] |= 1u64 << (i & 63);
+            self.valid_count += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Overwrite entry `i`.
+    pub fn set(&mut self, i: usize, valid: bool) {
+        debug_assert!(i < self.len);
+        let was = self.is_valid(i);
+        if was == valid {
+            return;
+        }
+        if valid {
+            self.words[i >> 6] |= 1u64 << (i & 63);
+            self.valid_count += 1;
+        } else {
+            self.words[i >> 6] &= !(1u64 << (i & 63));
+            self.valid_count -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_len_all_valid_counts() {
+        let v = Validity::with_len(100, true);
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.valid_count(), 100);
+        assert_eq!(v.null_count(), 0);
+        assert!(v.is_valid(99));
+    }
+
+    #[test]
+    fn with_len_all_null() {
+        let v = Validity::with_len(70, false);
+        assert_eq!(v.valid_count(), 0);
+        assert!(!v.is_valid(69));
+    }
+
+    #[test]
+    fn push_and_set() {
+        let mut v = Validity::new();
+        for i in 0..130 {
+            v.push(i % 3 == 0);
+        }
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.valid_count(), (0..130).filter(|i| i % 3 == 0).count());
+        v.set(1, true);
+        assert!(v.is_valid(1));
+        v.set(0, false);
+        assert!(!v.is_valid(0));
+        let count = v.valid_count();
+        v.set(1, true); // no-op
+        assert_eq!(v.valid_count(), count);
+    }
+
+    #[test]
+    fn exact_word_boundary() {
+        let v = Validity::with_len(64, true);
+        assert_eq!(v.valid_count(), 64);
+        assert!(v.is_valid(63));
+        let v = Validity::with_len(128, true);
+        assert_eq!(v.valid_count(), 128);
+    }
+}

@@ -1,0 +1,155 @@
+//! Scalar values: cell accessors and per-field defaults (paper §4.3).
+
+use crate::datatype::DataType;
+
+/// A single dynamically-typed cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Boolean(bool),
+    /// Any integer width, widened to `i64`.
+    Int64(i64),
+    /// Double.
+    Float64(f64),
+    /// Decimal: unscaled value plus scale (`1234, 2` = `12.34`).
+    Decimal128(i128, u8),
+    /// Days since the Unix epoch.
+    Date32(i32),
+    /// Microseconds since the Unix epoch.
+    TimestampMicros(i64),
+    /// String.
+    Utf8(String),
+}
+
+impl Value {
+    /// Whether this is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The natural [`DataType`] of this value, if any.
+    pub fn data_type(&self) -> Option<DataType> {
+        Some(match self {
+            Value::Null => return None,
+            Value::Boolean(_) => DataType::Boolean,
+            Value::Int64(_) => DataType::Int64,
+            Value::Float64(_) => DataType::Float64,
+            Value::Decimal128(_, s) => DataType::Decimal128 { scale: *s },
+            Value::Date32(_) => DataType::Date32,
+            Value::TimestampMicros(_) => DataType::TimestampMicros,
+            Value::Utf8(_) => DataType::Utf8,
+        })
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Boolean(b) => write!(f, "{b}"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Decimal128(v, s) => {
+                let sign = if *v < 0 { "-" } else { "" };
+                let a = v.unsigned_abs();
+                if *s == 0 {
+                    return write!(f, "{sign}{a}");
+                }
+                let scale = 10u128.pow(*s as u32);
+                write!(f, "{sign}{}.{:0width$}", a / scale, a % scale, width = *s as usize)
+            }
+            Value::Date32(d) => {
+                let (y, m, dd) = crate::value::days_to_ymd(*d);
+                write!(f, "{y:04}-{m:02}-{dd:02}")
+            }
+            Value::TimestampMicros(us) => {
+                let days = us.div_euclid(86_400_000_000);
+                let rem = us.rem_euclid(86_400_000_000);
+                let (y, m, d) = days_to_ymd(days as i32);
+                let secs = rem / 1_000_000;
+                let micros = rem % 1_000_000;
+                let (h, mi, s) = (secs / 3600, (secs / 60) % 60, secs % 60);
+                if micros == 0 {
+                    write!(f, "{y:04}-{m:02}-{d:02} {h:02}:{mi:02}:{s:02}")
+                } else {
+                    write!(f, "{y:04}-{m:02}-{d:02} {h:02}:{mi:02}:{s:02}.{micros:06}")
+                }
+            }
+            Value::Utf8(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Convert days-since-epoch to (year, month, day) via the civil-from-days
+/// algorithm (Howard Hinnant's `civil_from_days`).
+pub fn days_to_ymd(days: i32) -> (i32, u32, u32) {
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let y = if m <= 2 { y + 1 } else { y };
+    (y as i32, m, d)
+}
+
+/// Convert (year, month, day) to days-since-epoch (`days_from_civil`).
+pub fn ymd_to_days(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y as i64 - 1 } else { y as i64 };
+    let era = y.div_euclid(400);
+    let yoe = y.rem_euclid(400);
+    let mp = if m > 2 { m - 3 } else { m + 9 } as i64;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    (era * 146_097 + doe - 719_468) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_roundtrip() {
+        for (y, m, d) in [(1970, 1, 1), (2000, 2, 29), (2018, 12, 31), (1969, 7, 20)] {
+            let days = ymd_to_days(y, m, d);
+            assert_eq!(days_to_ymd(days), (y, m, d));
+        }
+        assert_eq!(ymd_to_days(1970, 1, 1), 0);
+        assert_eq!(ymd_to_days(1970, 1, 2), 1);
+        assert_eq!(ymd_to_days(1969, 12, 31), -1);
+    }
+
+    #[test]
+    fn display_values() {
+        assert_eq!(Value::Int64(42).to_string(), "42");
+        assert_eq!(Value::Decimal128(1234, 2).to_string(), "12.34");
+        assert_eq!(Value::Decimal128(-1234, 2).to_string(), "-12.34");
+        assert_eq!(Value::Decimal128(5, 2).to_string(), "0.05");
+        assert_eq!(
+            Value::Date32(ymd_to_days(2018, 6, 1)).to_string(),
+            "2018-06-01"
+        );
+        let us = (ymd_to_days(2018, 6, 1) as i64) * 86_400_000_000 + 3_723_000_000;
+        assert_eq!(
+            Value::TimestampMicros(us).to_string(),
+            "2018-06-01 01:02:03"
+        );
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn data_type_of_values() {
+        assert_eq!(Value::Int64(1).data_type(), Some(DataType::Int64));
+        assert_eq!(
+            Value::Decimal128(0, 3).data_type(),
+            Some(DataType::Decimal128 { scale: 3 })
+        );
+        assert_eq!(Value::Null.data_type(), None);
+        assert!(Value::Null.is_null());
+    }
+}

@@ -1,0 +1,213 @@
+//! Pass 1: determining every chunk's parsing context (paper §3.1, Fig. 3).
+//!
+//! Each chunk simulates one DFA instance per possible starting state and
+//! records the final states in a state-transition vector. An exclusive
+//! parallel scan under the composite operator then yields, for every chunk,
+//! the vector mapping "sequential start state" → "this chunk's true
+//! starting state". Reading the entry for the DFA's actual start state
+//! gives each chunk its context — no sequential pass over the input, the
+//! paper's core contribution.
+
+use crate::chunks::{chunk_ranges, num_chunks};
+use crate::options::ScanAlgorithm;
+use parparaw_device::WorkProfile;
+use parparaw_dfa::{Dfa, StateVector, VectorComposeOp};
+use parparaw_parallel::scan::ScanOp;
+use parparaw_parallel::{lookback, scan, Grid};
+
+/// The result of context determination.
+#[derive(Debug)]
+pub struct ContextPass {
+    /// Per-chunk state-transition vectors (pass-1 output).
+    pub vectors: Vec<StateVector>,
+    /// Per-chunk resolved starting states.
+    pub start_states: Vec<u8>,
+    /// The DFA state after the whole input — used for validation.
+    pub final_state: u8,
+    /// Work profile of the multi-DFA simulation kernel.
+    pub profile_simulate: WorkProfile,
+    /// Work profile of the composite-operator scan.
+    pub profile_scan: WorkProfile,
+    /// Wall time of the simulation kernel.
+    pub simulate_wall: std::time::Duration,
+    /// Wall time of the scan.
+    pub scan_wall: std::time::Duration,
+}
+
+/// Run pass 1 over `input` in chunks of `chunk_size` bytes with the
+/// default blocked scan.
+pub fn determine_contexts(grid: &Grid, dfa: &Dfa, input: &[u8], chunk_size: usize) -> ContextPass {
+    determine_contexts_with(grid, dfa, input, chunk_size, ScanAlgorithm::Blocked)
+}
+
+/// Run pass 1 with an explicit scan algorithm.
+pub fn determine_contexts_with(
+    grid: &Grid,
+    dfa: &Dfa,
+    input: &[u8],
+    chunk_size: usize,
+    algorithm: ScanAlgorithm,
+) -> ContextPass {
+    let n_chunks = num_chunks(input.len(), chunk_size);
+    let ranges: Vec<std::ops::Range<usize>> = chunk_ranges(input.len(), chunk_size).collect();
+
+    // Kernel 1: one virtual thread per chunk, |S| DFA instances each.
+    let t0 = std::time::Instant::now();
+    let vectors: Vec<StateVector> =
+        grid.map_indexed(n_chunks, |c| dfa.transition_vector(&input[ranges[c].clone()]));
+    let simulate_wall = t0.elapsed();
+
+    let mut profile_simulate = WorkProfile::new("parse/pass1");
+    profile_simulate.kernel_launches = 1;
+    profile_simulate.bytes_read = input.len() as u64;
+    profile_simulate.bytes_written = (n_chunks * 8) as u64;
+    // One row fetch plus |S| BFE/BFI state updates per input symbol.
+    profile_simulate.parallel_ops = input.len() as u64 * (dfa.num_states() as u64 + 1);
+
+    // Exclusive scan with the composite operator.
+    let t1 = std::time::Instant::now();
+    let op = VectorComposeOp::new(dfa.num_states());
+    let (scanned, total) = match algorithm {
+        ScanAlgorithm::Blocked => scan::exclusive_scan_total(grid, &vectors, &op),
+        ScanAlgorithm::DecoupledLookback => {
+            let scanned = lookback::exclusive_scan_lookback(grid, &vectors, &op, 2048);
+            let total = match (scanned.last(), vectors.last()) {
+                (Some(prefix), Some(last)) => op.combine(prefix, last),
+                _ => op.identity(),
+            };
+            (scanned, total)
+        }
+    };
+
+    let start = dfa.start_state();
+    let start_states: Vec<u8> = grid.map_indexed(n_chunks, |c| scanned[c].get(start));
+    let scan_wall = t1.elapsed();
+    let final_state = if n_chunks == 0 {
+        start
+    } else {
+        total.get(start)
+    };
+
+    let mut profile_scan = WorkProfile::new("scan/context");
+    profile_scan.kernel_launches = 3; // upsweep, spine, downsweep
+    profile_scan.bytes_read = (n_chunks * 8) as u64 * 2;
+    profile_scan.bytes_written = (n_chunks * 8) as u64 + n_chunks as u64;
+    profile_scan.parallel_ops = n_chunks as u64 * dfa.num_states() as u64 * 2;
+
+    ContextPass {
+        vectors,
+        start_states,
+        final_state,
+        profile_simulate,
+        profile_scan,
+        simulate_wall,
+        scan_wall,
+    }
+}
+
+impl ContextPass {
+    /// Verify with a [`StateVector`] composition that running the input
+    /// from `start` sequentially would end where pass 1 says — used by
+    /// tests and by whole-input validation.
+    pub fn is_accepted_by(&self, dfa: &Dfa) -> bool {
+        dfa.is_accepting(self.final_state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parparaw_dfa::csv::rfc4180_paper;
+
+    fn seq_state(dfa: &Dfa, input: &[u8], from: u8) -> u8 {
+        let mut s = from;
+        for &b in input {
+            s = dfa.step(s, b).next;
+        }
+        s
+    }
+
+    #[test]
+    fn start_states_match_sequential_simulation() {
+        let dfa = rfc4180_paper();
+        let input = b"1941,199.99,\"Bookcase\"\n1938,19.99,\"Frame\n\"\"Ribba\"\", black\"\n";
+        for chunk_size in [1usize, 3, 10, 31, 64, 1000] {
+            for workers in [1usize, 4] {
+                let grid = Grid::new(workers);
+                let ctx = determine_contexts(&grid, &dfa, input, chunk_size);
+                let mut state = dfa.start_state();
+                for (c, range) in chunk_ranges(input.len(), chunk_size).enumerate() {
+                    assert_eq!(
+                        ctx.start_states[c], state,
+                        "chunk {c} (size {chunk_size}, workers {workers})"
+                    );
+                    state = seq_state(&dfa, &input[range], state);
+                }
+                assert_eq!(ctx.final_state, state);
+                assert!(ctx.is_accepted_by(&dfa));
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_style_quote_context_is_recovered() {
+        // A chunk that begins inside an enclosure must start in ENC.
+        let dfa = rfc4180_paper();
+        let input = b"frame,\"colors:\nred,green\"\nshelf,x";
+        let grid = Grid::new(2);
+        let ctx = determine_contexts(&grid, &dfa, input, 8);
+        // Chunk 1 starts at byte 8, inside the quoted field.
+        assert_eq!(ctx.start_states[1], parparaw_dfa::csv::S_ENC);
+    }
+
+    #[test]
+    fn empty_input() {
+        let dfa = rfc4180_paper();
+        let grid = Grid::new(2);
+        let ctx = determine_contexts(&grid, &dfa, b"", 31);
+        assert!(ctx.vectors.is_empty());
+        assert_eq!(ctx.final_state, dfa.start_state());
+        assert!(ctx.is_accepted_by(&dfa));
+    }
+
+    #[test]
+    fn unterminated_quote_fails_validation() {
+        let dfa = rfc4180_paper();
+        let grid = Grid::new(2);
+        let ctx = determine_contexts(&grid, &dfa, b"a,\"unterminated", 4);
+        assert!(!ctx.is_accepted_by(&dfa));
+    }
+
+    #[test]
+    fn lookback_scan_gives_identical_contexts() {
+        let dfa = rfc4180_paper();
+        let input: Vec<u8> = (0..5000u32)
+            .flat_map(|i| format!("{i},\"q{i},x\"\n").into_bytes())
+            .collect();
+        for workers in [1usize, 4] {
+            let grid = Grid::new(workers);
+            let blocked =
+                determine_contexts_with(&grid, &dfa, &input, 13, ScanAlgorithm::Blocked);
+            let lb = determine_contexts_with(
+                &grid,
+                &dfa,
+                &input,
+                13,
+                ScanAlgorithm::DecoupledLookback,
+            );
+            assert_eq!(blocked.start_states, lb.start_states);
+            assert_eq!(blocked.final_state, lb.final_state);
+        }
+    }
+
+    #[test]
+    fn profiles_account_for_input() {
+        let dfa = rfc4180_paper();
+        let grid = Grid::new(1);
+        let input = vec![b'x'; 1000];
+        let ctx = determine_contexts(&grid, &dfa, &input, 31);
+        assert_eq!(ctx.profile_simulate.bytes_read, 1000);
+        assert!(ctx.profile_simulate.parallel_ops >= 6000);
+        assert!(ctx.profile_scan.kernel_launches >= 1);
+    }
+}

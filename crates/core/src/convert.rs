@@ -1,0 +1,961 @@
+//! Columnar type conversion (paper §3.3, Fig. 5).
+//!
+//! Given a column's CSS and field index, conversion produces the typed
+//! Arrow-style column: by default one virtual thread converts one field
+//! (thread-exclusive collaboration); fields larger than the collaboration
+//! threshold are deferred and handled by a grid-wide parallel copy
+//! afterwards — the block/device-level collaboration of the paper, which
+//! exists because a single 200 MB field must not serialise on one thread
+//! (see the skew experiment, Fig. 11 right).
+//!
+//! The byte-level field parsers live here too and are shared with the
+//! baseline parsers so that comparisons measure parallelisation strategy,
+//! not parsing-code quality. All parsers are allocation-free and return
+//! `Option` — a failed conversion never panics, it rejects (Fig. 5's
+//! `reject` flags).
+
+use crate::css::FieldIndex;
+use parparaw_columnar::value::{ymd_to_days, Value};
+use parparaw_columnar::{Column, ColumnData, DataType, Validity};
+use parparaw_device::WorkProfile;
+use parparaw_parallel::grid::SlotWriter;
+use parparaw_parallel::{Bitmap, Grid};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Parse a signed integer (optional `+`/`-`, decimal digits, surrounding
+/// ASCII whitespace tolerated). Overflow rejects.
+pub fn parse_i64(mut s: &[u8]) -> Option<i64> {
+    s = trim(s);
+    let (neg, rest) = match s.split_first() {
+        Some((b'-', r)) => (true, r),
+        Some((b'+', r)) => (false, r),
+        _ => (false, s),
+    };
+    if rest.is_empty() {
+        return None;
+    }
+    let mut acc: i64 = 0;
+    for &b in rest {
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            return None;
+        }
+        acc = acc.checked_mul(10)?.checked_sub(d as i64)?; // negative acc
+    }
+    if neg {
+        Some(acc)
+    } else {
+        acc.checked_neg()
+    }
+}
+
+/// Parse a double: fast path for plain `[-+]ddd.ddd`, falling back to the
+/// standard library for exponents and other spellings.
+pub fn parse_f64(s: &[u8]) -> Option<f64> {
+    let s = trim(s);
+    if s.is_empty() {
+        return None;
+    }
+    let (neg, rest) = match s.split_first() {
+        Some((b'-', r)) => (true, r),
+        Some((b'+', r)) => (false, r),
+        _ => (false, s),
+    };
+    let mut int_part: u64 = 0;
+    let mut i = 0;
+    let mut digits = 0;
+    while i < rest.len() && rest[i].is_ascii_digit() && digits < 18 {
+        int_part = int_part * 10 + (rest[i] - b'0') as u64;
+        i += 1;
+        digits += 1;
+    }
+    if digits == 18 {
+        return parse_f64_slow(s); // very long number: defer
+    }
+    let mut value = int_part as f64;
+    if i < rest.len() && rest[i] == b'.' {
+        i += 1;
+        let mut frac: u64 = 0;
+        let mut scale: f64 = 1.0;
+        let mut fdigits = 0;
+        while i < rest.len() && rest[i].is_ascii_digit() && fdigits < 17 {
+            frac = frac * 10 + (rest[i] - b'0') as u64;
+            scale *= 10.0;
+            i += 1;
+            fdigits += 1;
+        }
+        if fdigits == 17 {
+            return parse_f64_slow(s);
+        }
+        value += frac as f64 / scale;
+        if digits == 0 && fdigits == 0 {
+            return None; // lone '.'
+        }
+    } else if digits == 0 {
+        return parse_f64_slow(s); // inf/nan or garbage
+    }
+    if i != rest.len() {
+        return parse_f64_slow(s); // exponent or trailing junk
+    }
+    Some(if neg { -value } else { value })
+}
+
+fn parse_f64_slow(s: &[u8]) -> Option<f64> {
+    std::str::from_utf8(s).ok()?.trim().parse::<f64>().ok()
+}
+
+/// Parse a fixed-point decimal with `scale` fractional digits into an
+/// unscaled `i128`. Extra fractional digits reject (no silent rounding).
+pub fn parse_decimal(s: &[u8], scale: u8) -> Option<i128> {
+    let s = trim(s);
+    let (neg, rest) = match s.split_first() {
+        Some((b'-', r)) => (true, r),
+        Some((b'+', r)) => (false, r),
+        _ => (false, s),
+    };
+    if rest.is_empty() {
+        return None;
+    }
+    let mut acc: i128 = 0;
+    let mut frac_digits: Option<u8> = None;
+    for &b in rest {
+        if b == b'.' {
+            if frac_digits.is_some() {
+                return None;
+            }
+            frac_digits = Some(0);
+            continue;
+        }
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            return None;
+        }
+        if let Some(f) = frac_digits {
+            if f >= scale {
+                return None; // more precision than the column holds
+            }
+            frac_digits = Some(f + 1);
+        }
+        acc = acc.checked_mul(10)?.checked_add(d as i128)?;
+    }
+    // Pad out to the column scale.
+    let have = frac_digits.unwrap_or(0);
+    for _ in have..scale {
+        acc = acc.checked_mul(10)?;
+    }
+    Some(if neg { -acc } else { acc })
+}
+
+/// Parse a boolean: `true/false`, `t/f`, `yes/no`, `y/n`, `1/0`
+/// (case-insensitive).
+pub fn parse_bool(s: &[u8]) -> Option<bool> {
+    let s = trim(s);
+    match s {
+        b"1" => Some(true),
+        b"0" => Some(false),
+        _ => {
+            let mut buf = [0u8; 5];
+            if s.len() > 5 || s.is_empty() {
+                return None;
+            }
+            for (d, &b) in buf.iter_mut().zip(s) {
+                *d = b.to_ascii_lowercase();
+            }
+            match &buf[..s.len()] {
+                b"true" | b"t" | b"yes" | b"y" => Some(true),
+                b"false" | b"f" | b"no" | b"n" => Some(false),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Parse `YYYY-MM-DD` into days since the Unix epoch.
+pub fn parse_date(s: &[u8]) -> Option<i32> {
+    let s = trim(s);
+    if s.len() != 10 || s[4] != b'-' || s[7] != b'-' {
+        return None;
+    }
+    let y = digits(&s[0..4])? as i32;
+    let m = digits(&s[5..7])?;
+    let d = digits(&s[8..10])?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    // Reject days beyond the month's length via roundtrip.
+    let days = ymd_to_days(y, m, d);
+    let (ry, rm, rd) = parparaw_columnar::value::days_to_ymd(days);
+    (ry == y && rm == m && rd == d).then_some(days)
+}
+
+/// Parse `YYYY-MM-DD[ T]HH:MM:SS[.ffffff]` (or a bare date → midnight)
+/// into microseconds since the Unix epoch.
+pub fn parse_timestamp(s: &[u8]) -> Option<i64> {
+    let s = trim(s);
+    if s.len() == 10 {
+        return Some(parse_date(s)? as i64 * 86_400_000_000);
+    }
+    if s.len() < 19 || (s[10] != b' ' && s[10] != b'T') {
+        return None;
+    }
+    let days = parse_date(&s[0..10])? as i64;
+    if s[13] != b':' || s[16] != b':' {
+        return None;
+    }
+    let h = digits(&s[11..13])? as i64;
+    let mi = digits(&s[14..16])? as i64;
+    let sec = digits(&s[17..19])? as i64;
+    if h > 23 || mi > 59 || sec > 60 {
+        return None;
+    }
+    let mut micros = ((h * 3600 + mi * 60 + sec) + days * 86_400) * 1_000_000;
+    if s.len() > 19 {
+        if s[19] != b'.' || s.len() > 26 {
+            return None;
+        }
+        let frac = &s[20..];
+        if frac.is_empty() {
+            return None;
+        }
+        let mut f: i64 = 0;
+        for &b in frac {
+            let d = b.wrapping_sub(b'0');
+            if d > 9 {
+                return None;
+            }
+            f = f * 10 + d as i64;
+        }
+        for _ in frac.len()..6 {
+            f *= 10;
+        }
+        // The fraction always advances time: a rendered negative timestamp
+        // is `floor(seconds) + positive fraction`.
+        micros += f;
+    }
+    Some(micros)
+}
+
+fn digits(s: &[u8]) -> Option<u32> {
+    let mut acc = 0u32;
+    for &b in s {
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            return None;
+        }
+        acc = acc * 10 + d as u32;
+    }
+    Some(acc)
+}
+
+fn trim(mut s: &[u8]) -> &[u8] {
+    while let Some((&b, r)) = s.split_first() {
+        if b == b' ' || b == b'\t' {
+            s = r;
+        } else {
+            break;
+        }
+    }
+    while let Some((&b, r)) = s.split_last() {
+        if b == b' ' || b == b'\t' {
+            s = r;
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+/// The result of converting one column.
+#[derive(Debug)]
+pub struct ConvertedColumn {
+    /// The typed column, `num_rows` long.
+    pub column: Column,
+    /// Fields whose conversion failed (null in the output).
+    pub reject_count: u64,
+    /// Fields routed through the block/device-level collaboration path.
+    pub collaborative_fields: u64,
+    /// Of those, fields small enough for block-level collaboration (the
+    /// middle tier of paper §3.3: larger than a thread's budget but within
+    /// a thread-block's shared memory).
+    pub block_level_fields: u64,
+    /// Work profile of this column's conversion kernels.
+    pub profile: WorkProfile,
+}
+
+/// Convert one column's CSS into a typed column of `num_rows` rows.
+///
+/// Rows absent from the index (empty fields) become the field `default`
+/// or null; rows flagged in `rejected` become null unconditionally.
+#[allow(clippy::too_many_arguments)]
+pub fn convert_column(
+    grid: &Grid,
+    css: &[u8],
+    index: &FieldIndex,
+    num_rows: usize,
+    dtype: DataType,
+    default: Option<&Value>,
+    rejected: &Bitmap,
+    collaboration_threshold: usize,
+) -> ConvertedColumn {
+    let rejects = AtomicU64::new(0);
+    let collab = AtomicU64::new(0);
+    let block_level = AtomicU64::new(0);
+    let mut profile = WorkProfile::new("convert");
+    profile.kernel_launches = 3;
+    profile.bytes_read = css.len() as u64 + index.num_fields() as u64 * 20;
+    profile.parallel_ops = css.len() as u64 * 2;
+
+    let column = match dtype {
+        DataType::Utf8 => convert_utf8(
+            grid,
+            css,
+            index,
+            num_rows,
+            default,
+            rejected,
+            collaboration_threshold,
+            &collab,
+            &block_level,
+            &mut profile,
+        ),
+        _ => convert_fixed(
+            grid, css, index, num_rows, dtype, default, rejected, &rejects, &mut profile,
+        ),
+    };
+
+    ConvertedColumn {
+        column,
+        reject_count: rejects.load(Ordering::Relaxed),
+        collaborative_fields: collab.load(Ordering::Relaxed),
+        block_level_fields: block_level.load(Ordering::Relaxed),
+        profile,
+    }
+}
+
+/// Fixed-width conversion: pre-initialise with the default, then one
+/// virtual thread per field parses and writes its row slot.
+#[allow(clippy::too_many_arguments)]
+fn convert_fixed(
+    grid: &Grid,
+    css: &[u8],
+    index: &FieldIndex,
+    num_rows: usize,
+    dtype: DataType,
+    default: Option<&Value>,
+    rejected: &Bitmap,
+    rejects: &AtomicU64,
+    profile: &mut WorkProfile,
+) -> Column {
+    profile.bytes_written += num_rows as u64 * dtype.value_width() as u64;
+
+    // valid[i]: 0 = null, 1 = valid. Pre-set from the default.
+    let default_valid = default.map(|d| !d.is_null()).unwrap_or(false);
+    let mut valid = vec![u8::from(default_valid); num_rows];
+    let vw = SlotWriter::new(&mut valid);
+
+    macro_rules! fixed {
+        ($native:ty, $init:expr, $parse:expr, $wrap:expr) => {{
+            let init: $native = $init;
+            let mut buf: Vec<$native> = vec![init; num_rows];
+            {
+                let bw = SlotWriter::new(&mut buf);
+                grid.run_partitioned(index.num_fields(), |_, range| {
+                    for k in range {
+                        let row = index.rows[k] as usize;
+                        if row >= num_rows {
+                            continue;
+                        }
+                        let bytes = &css[index.field_range(k)];
+                        if rejected.get(row) {
+                            unsafe { vw.write(row, 0) };
+                            continue;
+                        }
+                        if bytes.is_empty() {
+                            continue; // keep default / null
+                        }
+                        match $parse(bytes) {
+                            Some(v) => unsafe {
+                                bw.write(row, v);
+                                vw.write(row, 1);
+                            },
+                            None => {
+                                rejects.fetch_add(1, Ordering::Relaxed);
+                                unsafe { vw.write(row, 0) };
+                            }
+                        }
+                    }
+                });
+            }
+            $wrap(buf)
+        }};
+    }
+
+    let data: ColumnData = match dtype {
+        DataType::Boolean => fixed!(
+            bool,
+            matches!(default, Some(Value::Boolean(true))),
+            parse_bool,
+            ColumnData::Boolean
+        ),
+        DataType::Int8 => fixed!(
+            i8,
+            default_i64(default) as i8,
+            |b| parse_i64(b).and_then(|v| i8::try_from(v).ok()),
+            ColumnData::Int8
+        ),
+        DataType::Int16 => fixed!(
+            i16,
+            default_i64(default) as i16,
+            |b| parse_i64(b).and_then(|v| i16::try_from(v).ok()),
+            ColumnData::Int16
+        ),
+        DataType::Int32 => fixed!(
+            i32,
+            default_i64(default) as i32,
+            |b| parse_i64(b).and_then(|v| i32::try_from(v).ok()),
+            ColumnData::Int32
+        ),
+        DataType::Int64 => fixed!(i64, default_i64(default), parse_i64, ColumnData::Int64),
+        DataType::Float64 => fixed!(
+            f64,
+            match default {
+                Some(Value::Float64(f)) => *f,
+                Some(Value::Int64(i)) => *i as f64,
+                _ => 0.0,
+            },
+            parse_f64,
+            ColumnData::Float64
+        ),
+        DataType::Decimal128 { scale } => {
+            let init = match default {
+                Some(Value::Decimal128(v, s)) if *s == scale => *v,
+                Some(Value::Int64(i)) => (*i as i128) * 10i128.pow(scale as u32),
+                _ => 0,
+            };
+            let data = fixed!(
+                i128,
+                init,
+                |b| parse_decimal(b, scale),
+                |buf| ColumnData::Decimal128(buf, scale)
+            );
+            data
+        }
+        DataType::Date32 => fixed!(
+            i32,
+            match default {
+                Some(Value::Date32(d)) => *d,
+                _ => 0,
+            },
+            parse_date,
+            ColumnData::Date32
+        ),
+        DataType::TimestampMicros => fixed!(
+            i64,
+            match default {
+                Some(Value::TimestampMicros(t)) => *t,
+                _ => 0,
+            },
+            parse_timestamp,
+            ColumnData::TimestampMicros
+        ),
+        DataType::Utf8 => unreachable!("handled by convert_utf8"),
+    };
+
+    let validity = validity_from_flags(&valid);
+    Column::new(data, Some(validity)).expect("buffers sized to num_rows")
+}
+
+/// Utf8 conversion: per-row lengths → offset scan → parallel scatter, with
+/// giant fields deferred to a grid-wide copy (device-level collaboration).
+#[allow(clippy::too_many_arguments)]
+fn convert_utf8(
+    grid: &Grid,
+    css: &[u8],
+    index: &FieldIndex,
+    num_rows: usize,
+    default: Option<&Value>,
+    rejected: &Bitmap,
+    collaboration_threshold: usize,
+    collab: &AtomicU64,
+    block_level: &AtomicU64,
+    profile: &mut WorkProfile,
+) -> Column {
+    // Paper §3.3's middle tier: a thread's private budget is a fraction of
+    // a thread-block's shared memory (64 threads per block); fields above
+    // it but below the device threshold are handled block-cooperatively.
+    let thread_threshold = (collaboration_threshold / 64).max(256);
+    let default_str: Option<&str> = match default {
+        Some(Value::Utf8(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let default_len = default_str.map(|s| s.len()).unwrap_or(0);
+
+    // Row → field mapping (u32::MAX = absent).
+    let mut field_of_row = vec![u32::MAX; num_rows];
+    {
+        let fw = SlotWriter::new(&mut field_of_row);
+        grid.run_partitioned(index.num_fields(), |_, range| {
+            for k in range {
+                let row = index.rows[k] as usize;
+                if row < num_rows {
+                    unsafe { fw.write(row, k as u32) };
+                }
+            }
+        });
+    }
+
+    // Lengths per row. A present-but-empty field means the same as an
+    // absent one (paper §4.3's empty-string handling), which keeps the
+    // tagging modes semantically identical: record-tagged mode cannot
+    // even represent an empty field.
+    let lengths: Vec<u64> = grid.map_indexed(num_rows, |row| {
+        if rejected.get(row) {
+            0
+        } else {
+            match field_of_row[row] {
+                u32::MAX => default_len as u64,
+                k => match index.field_len(k as usize) {
+                    0 => default_len as u64,
+                    len => len as u64,
+                },
+            }
+        }
+    });
+    let (offsets_excl, total_bytes) =
+        parparaw_parallel::scan::exclusive_scan_total(grid, &lengths, &parparaw_parallel::scan::AddOp);
+
+    let mut offsets = offsets_excl;
+    offsets.push(total_bytes);
+    let mut values = vec![0u8; total_bytes as usize];
+    let mut valid = vec![0u8; num_rows];
+
+    // Scatter pass: thread-exclusive for ordinary fields, deferred for
+    // giants.
+    let mut giants: Vec<usize> = Vec::new();
+    {
+        let vw = SlotWriter::new(&mut values);
+        let aw = SlotWriter::new(&mut valid);
+        let giant_list = parking_lot_free_collect(grid, num_rows, |row| {
+            let dst = offsets[row] as usize;
+            if rejected.get(row) {
+                return None;
+            }
+            match field_of_row[row] {
+                u32::MAX => {
+                    if let Some(d) = default_str {
+                        for (i, &b) in d.as_bytes().iter().enumerate() {
+                            unsafe { vw.write(dst + i, b) };
+                        }
+                        unsafe { aw.write(row, 1) };
+                    }
+                    None
+                }
+                k => {
+                    let range = index.field_range(k as usize);
+                    if range.is_empty() {
+                        // Present but empty: default/NULL, like absent.
+                        if let Some(d) = default_str {
+                            for (i, &b) in d.as_bytes().iter().enumerate() {
+                                unsafe { vw.write(dst + i, b) };
+                            }
+                            unsafe { aw.write(row, 1) };
+                        }
+                        return None;
+                    }
+                    unsafe { aw.write(row, 1) };
+                    if range.len() > thread_threshold {
+                        // Defer: block-level if it fits a thread-block's
+                        // shared memory, device-level otherwise.
+                        if range.len() <= collaboration_threshold {
+                            block_level.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Some(row);
+                    }
+                    for (i, &b) in css[range].iter().enumerate() {
+                        unsafe { vw.write(dst + i, b) };
+                    }
+                    None
+                }
+            }
+        });
+        giants.extend(giant_list);
+
+        // Split the deferred fields into the two cooperative tiers.
+        let (block_rows, device_rows): (Vec<usize>, Vec<usize>) =
+            giants.iter().partition(|&&row| {
+                index.field_range(field_of_row[row] as usize).len() <= collaboration_threshold
+            });
+        collab.fetch_add(giants.len() as u64, Ordering::Relaxed);
+
+        // Block-level collaboration: each field fits a thread-block's
+        // budget; fields are claimed dynamically so skewed lengths
+        // load-balance (one block per field, many blocks in flight).
+        grid.run_dynamic(block_rows.len(), 1, |i| {
+            let row = block_rows[i];
+            let src = index.field_range(field_of_row[row] as usize);
+            let dst0 = offsets[row] as usize;
+            for (i, &b) in css[src].iter().enumerate() {
+                unsafe { vw.write(dst0 + i, b) };
+            }
+        });
+
+        // Device-level collaboration: all workers cooperate on each truly
+        // giant field, the same data-parallel chunking as the pipeline.
+        for &row in &device_rows {
+            let k = field_of_row[row] as usize;
+            let src = index.field_range(k);
+            let dst0 = offsets[row] as usize;
+            let src_start = src.start;
+            let len = src.len();
+            grid.run_partitioned(len, |_, r| {
+                for i in r {
+                    unsafe { vw.write(dst0 + i, css[src_start + i]) };
+                }
+            });
+        }
+    }
+
+    profile.bytes_written += total_bytes + num_rows as u64 * 9;
+    profile.bytes_read += total_bytes;
+
+    let validity = validity_from_flags(&valid);
+    Column::new(ColumnData::Utf8 { offsets, values }, Some(validity))
+        .expect("offsets built from scan are monotonic")
+}
+
+/// Run `f(i)` for each index, collecting the `Some` results. Results are
+/// gathered per worker then concatenated in worker order (deterministic).
+fn parking_lot_free_collect<F>(grid: &Grid, n: usize, f: F) -> Vec<usize>
+where
+    F: Fn(usize) -> Option<usize> + Sync,
+{
+    let parts = grid.partition(n);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); parts.len()];
+    {
+        let bw = SlotWriter::new(&mut buckets);
+        grid.run_partitioned(n, |w, range| {
+            let mut local = Vec::new();
+            for i in range {
+                if let Some(x) = f(i) {
+                    local.push(x);
+                }
+            }
+            unsafe { bw.write(w, local) };
+        });
+    }
+    buckets.concat()
+}
+
+fn default_i64(default: Option<&Value>) -> i64 {
+    match default {
+        Some(Value::Int64(i)) => *i,
+        _ => 0,
+    }
+}
+
+fn validity_from_flags(flags: &[u8]) -> Validity {
+    let mut v = Validity::new();
+    for &f in flags {
+        v.push(f != 0);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_parsing() {
+        assert_eq!(parse_i64(b"1941"), Some(1941));
+        assert_eq!(parse_i64(b"-42"), Some(-42));
+        assert_eq!(parse_i64(b"+7"), Some(7));
+        assert_eq!(parse_i64(b" 13 "), Some(13));
+        assert_eq!(parse_i64(b"9223372036854775807"), Some(i64::MAX));
+        assert_eq!(parse_i64(b"-9223372036854775808"), Some(i64::MIN));
+        assert_eq!(parse_i64(b"9223372036854775808"), None); // overflow
+        assert_eq!(parse_i64(b""), None);
+        assert_eq!(parse_i64(b"12a"), None);
+        assert_eq!(parse_i64(b"-"), None);
+    }
+
+    #[test]
+    fn float_parsing() {
+        assert_eq!(parse_f64(b"199.99"), Some(199.99));
+        assert_eq!(parse_f64(b"-0.5"), Some(-0.5));
+        assert_eq!(parse_f64(b"12"), Some(12.0));
+        assert_eq!(parse_f64(b"1e3"), Some(1000.0)); // slow path
+        assert_eq!(parse_f64(b"2.5E-2"), Some(0.025));
+        assert_eq!(parse_f64(b".5"), Some(0.5));
+        assert_eq!(parse_f64(b""), None);
+        assert_eq!(parse_f64(b"abc"), None);
+        assert_eq!(parse_f64(b"1.2.3"), None);
+    }
+
+    #[test]
+    fn decimal_parsing() {
+        assert_eq!(parse_decimal(b"12.34", 2), Some(1234));
+        assert_eq!(parse_decimal(b"-7.5", 2), Some(-750));
+        assert_eq!(parse_decimal(b"3", 2), Some(300));
+        assert_eq!(parse_decimal(b"0.005", 2), None); // too precise
+        assert_eq!(parse_decimal(b"1.2.3", 2), None);
+        assert_eq!(parse_decimal(b"", 2), None);
+    }
+
+    #[test]
+    fn bool_parsing() {
+        for t in [&b"true"[..], b"T", b"YES", b"y", b"1"] {
+            assert_eq!(parse_bool(t), Some(true), "{t:?}");
+        }
+        for f in [&b"false"[..], b"F", b"no", b"N", b"0"] {
+            assert_eq!(parse_bool(f), Some(false), "{f:?}");
+        }
+        assert_eq!(parse_bool(b"maybe"), None);
+        assert_eq!(parse_bool(b""), None);
+    }
+
+    #[test]
+    fn date_parsing() {
+        assert_eq!(parse_date(b"1970-01-01"), Some(0));
+        assert_eq!(parse_date(b"2018-06-01"), Some(ymd_to_days(2018, 6, 1)));
+        assert_eq!(parse_date(b"2018-02-30"), None); // no such day
+        assert_eq!(parse_date(b"2018-13-01"), None);
+        assert_eq!(parse_date(b"2018/06/01"), None);
+        assert_eq!(parse_date(b"18-06-01"), None);
+    }
+
+    #[test]
+    fn timestamp_parsing() {
+        let base = ymd_to_days(2018, 6, 1) as i64 * 86_400_000_000;
+        assert_eq!(parse_timestamp(b"2018-06-01 00:00:00"), Some(base));
+        assert_eq!(
+            parse_timestamp(b"2018-06-01T01:02:03"),
+            Some(base + 3_723_000_000)
+        );
+        assert_eq!(
+            parse_timestamp(b"2018-06-01 00:00:00.5"),
+            Some(base + 500_000)
+        );
+        assert_eq!(parse_timestamp(b"2018-06-01"), Some(base));
+        assert_eq!(parse_timestamp(b"2018-06-01 25:00:00"), None);
+        assert_eq!(parse_timestamp(b"junk"), None);
+    }
+
+    fn simple_index(fields: &[(&[u8], u32)]) -> (Vec<u8>, FieldIndex) {
+        let mut css = Vec::new();
+        let mut idx = FieldIndex::default();
+        for (bytes, row) in fields {
+            idx.rows.push(*row);
+            idx.starts.push(css.len() as u64);
+            css.extend_from_slice(bytes);
+            idx.ends.push(css.len() as u64);
+        }
+        (css, idx)
+    }
+
+    #[test]
+    fn converts_i64_column_with_missing_and_bad_rows() {
+        let grid = Grid::new(2);
+        let (css, idx) = simple_index(&[(b"10", 0), (b"oops", 2), (b"30", 3)]);
+        let out = convert_column(
+            &grid,
+            &css,
+            &idx,
+            4,
+            DataType::Int64,
+            None,
+            &Bitmap::new(4),
+            1 << 20,
+        );
+        assert_eq!(out.reject_count, 1);
+        let c = out.column;
+        assert_eq!(c.value(0), Value::Int64(10));
+        assert_eq!(c.value(1), Value::Null); // missing
+        assert_eq!(c.value(2), Value::Null); // bad
+        assert_eq!(c.value(3), Value::Int64(30));
+    }
+
+    #[test]
+    fn default_fills_missing_rows() {
+        let grid = Grid::new(2);
+        let (css, idx) = simple_index(&[(b"1", 0)]);
+        let out = convert_column(
+            &grid,
+            &css,
+            &idx,
+            3,
+            DataType::Int64,
+            Some(&Value::Int64(99)),
+            &Bitmap::new(3),
+            1 << 20,
+        );
+        let c = out.column;
+        assert_eq!(c.value(1), Value::Int64(99));
+        assert_eq!(c.value(2), Value::Int64(99));
+        assert_eq!(c.value(0), Value::Int64(1));
+    }
+
+    #[test]
+    fn empty_present_field_takes_default() {
+        let grid = Grid::new(1);
+        let (css, idx) = simple_index(&[(b"", 0), (b"5", 1)]);
+        let out = convert_column(
+            &grid,
+            &css,
+            &idx,
+            2,
+            DataType::Int64,
+            Some(&Value::Int64(-1)),
+            &Bitmap::new(2),
+            1 << 20,
+        );
+        assert_eq!(out.column.value(0), Value::Int64(-1));
+        assert_eq!(out.reject_count, 0);
+    }
+
+    #[test]
+    fn rejected_rows_are_null() {
+        let grid = Grid::new(2);
+        let (css, idx) = simple_index(&[(b"1", 0), (b"2", 1)]);
+        let mut rej = Bitmap::new(2);
+        rej.set(1);
+        let out = convert_column(
+            &grid,
+            &css,
+            &idx,
+            2,
+            DataType::Int64,
+            None,
+            &rej,
+            1 << 20,
+        );
+        assert_eq!(out.column.value(1), Value::Null);
+        assert_eq!(out.column.value(0), Value::Int64(1));
+    }
+
+    #[test]
+    fn utf8_column_roundtrip() {
+        let grid = Grid::new(3);
+        let (css, idx) = simple_index(&[(b"Bookcase", 0), (b"Frame", 1), (b"", 3)]);
+        let out = convert_column(
+            &grid,
+            &css,
+            &idx,
+            4,
+            DataType::Utf8,
+            None,
+            &Bitmap::new(4),
+            1 << 20,
+        );
+        let c = out.column;
+        assert_eq!(c.value(0), Value::Utf8("Bookcase".into()));
+        assert_eq!(c.value(1), Value::Utf8("Frame".into()));
+        assert_eq!(c.value(2), Value::Null); // absent row
+        // Present-but-empty is NULL too: record-tagged mode cannot even
+        // represent an empty field, so all modes agree on NULL.
+        assert_eq!(c.value(3), Value::Null);
+    }
+
+    #[test]
+    fn giant_field_takes_collaboration_path() {
+        let grid = Grid::new(3);
+        let giant = vec![b'x'; 10_000];
+        let (css, idx) = simple_index(&[(b"small", 0), (&giant, 1)]);
+        let out = convert_column(
+            &grid,
+            &css,
+            &idx,
+            2,
+            DataType::Utf8,
+            None,
+            &Bitmap::new(2),
+            1024, // low threshold forces collaboration
+        );
+        assert_eq!(out.collaborative_fields, 1);
+        assert_eq!(out.column.utf8_bytes(1).unwrap().len(), 10_000);
+        assert!(out.column.utf8_bytes(1).unwrap().iter().all(|&b| b == b'x'));
+        assert_eq!(out.column.value(0), Value::Utf8("small".into()));
+    }
+
+    #[test]
+    fn decimal_column() {
+        let grid = Grid::new(2);
+        let (css, idx) = simple_index(&[(b"12.34", 0), (b"-0.5", 1)]);
+        let out = convert_column(
+            &grid,
+            &css,
+            &idx,
+            2,
+            DataType::Decimal128 { scale: 2 },
+            None,
+            &Bitmap::new(2),
+            1 << 20,
+        );
+        assert_eq!(out.column.value(0), Value::Decimal128(1234, 2));
+        assert_eq!(out.column.value(1), Value::Decimal128(-50, 2));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn i64_matches_std(v in any::<i64>()) {
+            let s = v.to_string();
+            prop_assert_eq!(parse_i64(s.as_bytes()), Some(v));
+        }
+
+        #[test]
+        fn i64_rejects_what_std_rejects(s in "[+-]?[0-9a-z.]{0,20}") {
+            let std_ok = s.parse::<i64>().is_ok();
+            let ours = parse_i64(s.as_bytes()).is_some();
+            prop_assert_eq!(ours, std_ok, "{}", s);
+        }
+
+        #[test]
+        fn f64_close_to_std(int in 0u64..1_000_000_000, frac in 0u32..1_000_000) {
+            let s = format!("{int}.{frac:06}");
+            let ours = parse_f64(s.as_bytes()).unwrap();
+            let std = s.parse::<f64>().unwrap();
+            // The fast path accumulates decimally; allow 1 ulp-ish slack.
+            prop_assert!((ours - std).abs() <= std.abs() * 1e-15 + f64::EPSILON, "{}", s);
+        }
+
+        #[test]
+        fn f64_slow_path_matches_std(s in "-?[0-9]{1,10}(\\.[0-9]{1,10})?[eE]-?[0-9]{1,2}") {
+            let ours = parse_f64(s.as_bytes());
+            let std = s.parse::<f64>().ok();
+            prop_assert_eq!(ours, std, "{}", s);
+        }
+
+        #[test]
+        fn decimal_scales_consistently(v in -1_000_000_000i64..1_000_000_000, scale in 0u8..6) {
+            // Render an unscaled integer at `scale`, reparse, compare.
+            let rendered = parparaw_columnar::Value::Decimal128(v as i128, scale).to_string();
+            prop_assert_eq!(
+                parse_decimal(rendered.as_bytes(), scale),
+                Some(v as i128),
+                "{}", rendered
+            );
+        }
+
+        #[test]
+        fn date_roundtrips(days in -200_000i32..200_000) {
+            let rendered = parparaw_columnar::Value::Date32(days).to_string();
+            prop_assert_eq!(parse_date(rendered.as_bytes()), Some(days), "{}", rendered);
+        }
+
+        #[test]
+        fn timestamp_roundtrips(us in -6_000_000_000_000_000i64..6_000_000_000_000_000) {
+            let rendered = parparaw_columnar::Value::TimestampMicros(us).to_string();
+            prop_assert_eq!(
+                parse_timestamp(rendered.as_bytes()),
+                Some(us),
+                "{}", rendered
+            );
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Parse errors.
+
+/// Errors surfaced by the parsing pipeline. Malformed *data* never errors
+/// — it lands in per-record reject flags — so these are configuration and
+/// format-level failures only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A selected column index is out of range.
+    ColumnOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of columns available.
+        num_columns: usize,
+    },
+    /// The whole input failed DFA validation (ended in a non-accepting
+    /// state) and the dialect does not recover.
+    InvalidInput {
+        /// Name of the DFA state the input ended in.
+        final_state: String,
+    },
+    /// Inline-terminated or vector-delimited tagging was requested but the
+    /// input has an inconsistent number of columns per record.
+    InconsistentColumns {
+        /// Minimum observed columns per record.
+        min: u32,
+        /// Maximum observed columns per record.
+        max: u32,
+    },
+    /// The inline terminator byte occurs in field data.
+    TerminatorInData {
+        /// The configured terminator byte.
+        terminator: u8,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::ColumnOutOfRange { index, num_columns } => write!(
+                f,
+                "selected column {index} out of range (input has {num_columns} columns)"
+            ),
+            ParseError::InvalidInput { final_state } => {
+                write!(f, "input is not valid for the format (ended in state {final_state})")
+            }
+            ParseError::InconsistentColumns { min, max } => write!(
+                f,
+                "tagging mode requires a constant column count, observed {min}..{max}"
+            ),
+            ParseError::TerminatorInData { terminator } => write!(
+                f,
+                "inline terminator byte 0x{terminator:02X} occurs in field data"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = ParseError::ColumnOutOfRange {
+            index: 9,
+            num_columns: 3,
+        };
+        assert!(e.to_string().contains("column 9"));
+        let e = ParseError::InconsistentColumns { min: 2, max: 5 };
+        assert!(e.to_string().contains("2..5"));
+        let e = ParseError::TerminatorInData { terminator: 0x1F };
+        assert!(e.to_string().contains("0x1F"));
+    }
+}

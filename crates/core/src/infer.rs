@@ -1,0 +1,204 @@
+//! Type inference (paper §4.3).
+//!
+//! "ParPaRaw is comparably efficient when identifying a column's type, as,
+//! prior to type conversion, all of a column's symbols lie cohesively in
+//! memory. During an initial pass over the column's symbols, threads
+//! identify the minimum numerical type being required to back their field
+//! value. A subsequent parallel reduction over the minimum type yields the
+//! inferred type of a column."
+//!
+//! Our lattice extends the paper's numerical types with booleans and the
+//! temporal types it names as future work: three chains — boolean,
+//! `i8 → i16 → i32 → i64 → f64`, `date → timestamp` — sharing bottom
+//! (*empty*) and top (*text*). Joining across chains yields text; joining
+//! within a chain takes the wider type.
+
+use crate::convert::{parse_bool, parse_date, parse_f64, parse_i64, parse_timestamp};
+use crate::css::FieldIndex;
+use parparaw_columnar::DataType;
+use parparaw_parallel::reduce::map_reduce;
+use parparaw_parallel::scan::ScanOp;
+use parparaw_parallel::Grid;
+
+/// Lattice codes (do not reorder: chain joins use numeric max).
+const EMPTY: u8 = 0;
+const BOOL: u8 = 1;
+const I8: u8 = 2;
+const I16: u8 = 3;
+const I32: u8 = 4;
+const I64: u8 = 5;
+const F64: u8 = 6;
+const DATE: u8 = 7;
+const TS: u8 = 8;
+const TEXT: u8 = 9;
+
+fn chain(code: u8) -> u8 {
+    match code {
+        EMPTY => 0,
+        BOOL => 1,
+        I8..=F64 => 2,
+        DATE | TS => 3,
+        _ => 4,
+    }
+}
+
+/// The lattice join as a reduction operator (associative and commutative).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TypeJoinOp;
+
+impl ScanOp for TypeJoinOp {
+    type Item = u8;
+
+    fn identity(&self) -> u8 {
+        EMPTY
+    }
+
+    fn combine(&self, a: &u8, b: &u8) -> u8 {
+        let (a, b) = (*a, *b);
+        if a == EMPTY {
+            return b;
+        }
+        if b == EMPTY {
+            return a;
+        }
+        if chain(a) == chain(b) {
+            a.max(b)
+        } else {
+            TEXT
+        }
+    }
+}
+
+/// The minimal lattice code backing one field value.
+pub fn field_type_code(bytes: &[u8]) -> u8 {
+    if bytes.is_empty() {
+        return EMPTY;
+    }
+    // Numeric chain first so "1"/"0" infer as integers, not booleans.
+    if let Some(v) = parse_i64(bytes) {
+        return if i8::try_from(v).is_ok() {
+            I8
+        } else if i16::try_from(v).is_ok() {
+            I16
+        } else if i32::try_from(v).is_ok() {
+            I32
+        } else {
+            I64
+        };
+    }
+    if parse_f64(bytes).is_some() {
+        return F64;
+    }
+    if parse_bool(bytes).is_some() {
+        return BOOL;
+    }
+    if parse_date(bytes).is_some() {
+        return DATE;
+    }
+    if parse_timestamp(bytes).is_some() {
+        return TS;
+    }
+    TEXT
+}
+
+/// Map a joined lattice code to the output type. All-empty columns are
+/// text (there is nothing to contradict it and text loses no data).
+pub fn code_to_type(code: u8) -> DataType {
+    match code {
+        BOOL => DataType::Boolean,
+        I8 => DataType::Int8,
+        I16 => DataType::Int16,
+        I32 => DataType::Int32,
+        I64 => DataType::Int64,
+        F64 => DataType::Float64,
+        DATE => DataType::Date32,
+        TS => DataType::TimestampMicros,
+        _ => DataType::Utf8,
+    }
+}
+
+/// Infer a column's type from its CSS and index.
+pub fn infer_column_type(grid: &Grid, css: &[u8], index: &FieldIndex) -> DataType {
+    let code = map_reduce(grid, index.num_fields(), &TypeJoinOp, |k| {
+        field_type_code(&css[index.field_range(k)])
+    });
+    code_to_type(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(fields: &[&[u8]]) -> (Vec<u8>, FieldIndex) {
+        let mut css = Vec::new();
+        let mut index = FieldIndex::default();
+        for (i, f) in fields.iter().enumerate() {
+            index.rows.push(i as u32);
+            index.starts.push(css.len() as u64);
+            css.extend_from_slice(f);
+            index.ends.push(css.len() as u64);
+        }
+        (css, index)
+    }
+
+    fn infer(fields: &[&[u8]]) -> DataType {
+        let (css, index) = idx(fields);
+        infer_column_type(&Grid::new(2), &css, &index)
+    }
+
+    #[test]
+    fn numeric_widths() {
+        assert_eq!(infer(&[b"1", b"2", b"-3"]), DataType::Int8);
+        assert_eq!(infer(&[b"1", b"300"]), DataType::Int16);
+        assert_eq!(infer(&[b"1", b"70000"]), DataType::Int32);
+        assert_eq!(infer(&[b"1", b"5000000000"]), DataType::Int64);
+        assert_eq!(infer(&[b"1", b"2.5"]), DataType::Float64);
+    }
+
+    #[test]
+    fn temporal_chain() {
+        assert_eq!(infer(&[b"2018-01-01", b"2019-12-31"]), DataType::Date32);
+        assert_eq!(
+            infer(&[b"2018-01-01", b"2019-12-31 10:00:00"]),
+            DataType::TimestampMicros
+        );
+    }
+
+    #[test]
+    fn cross_chain_joins_to_text() {
+        assert_eq!(infer(&[b"1", b"2018-01-01"]), DataType::Utf8);
+        assert_eq!(infer(&[b"true", b"5"]), DataType::Utf8);
+        assert_eq!(infer(&[b"1.5", b"hello"]), DataType::Utf8);
+    }
+
+    #[test]
+    fn booleans() {
+        assert_eq!(infer(&[b"true", b"false", b"T"]), DataType::Boolean);
+        // 1/0 prefer the numeric chain.
+        assert_eq!(infer(&[b"1", b"0"]), DataType::Int8);
+    }
+
+    #[test]
+    fn empties_do_not_constrain() {
+        assert_eq!(infer(&[b"", b"42", b""]), DataType::Int8);
+        assert_eq!(infer(&[b"", b""]), DataType::Utf8);
+        assert_eq!(infer(&[]), DataType::Utf8);
+    }
+
+    #[test]
+    fn join_is_associative_and_commutative() {
+        let op = TypeJoinOp;
+        for a in 0..=9u8 {
+            for b in 0..=9u8 {
+                assert_eq!(op.combine(&a, &b), op.combine(&b, &a));
+                for c in 0..=9u8 {
+                    assert_eq!(
+                        op.combine(&op.combine(&a, &b), &c),
+                        op.combine(&a, &op.combine(&b, &c)),
+                        "{a} {b} {c}"
+                    );
+                }
+            }
+        }
+    }
+}

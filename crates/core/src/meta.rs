@@ -1,0 +1,432 @@
+//! Pass 2 and the offset scans: identifying columns and records
+//! (paper §3.1 bitmaps + §3.2, Fig. 4).
+//!
+//! With its starting state known, each chunk re-simulates a single DFA
+//! instance and materialises the three bitmap indexes (record delimiters,
+//! field delimiters, control symbols) plus a reject bitmap. Alongside, it
+//! computes the per-chunk metadata of Fig. 4: the record count, the
+//! relative-or-absolute column offset handed to the next chunk, and the
+//! data needed for column-count inference (§4.3): the number of field
+//! delimiters before the chunk's first record delimiter and the min/max
+//! column count of records completed inside the chunk.
+//!
+//! The offset scans then turn the per-chunk values into absolute starting
+//! offsets: an exclusive prefix sum for records, and an exclusive scan
+//! under the rel/abs composition operator for columns.
+
+use crate::chunks::{chunk_ranges, num_chunks};
+use parparaw_device::WorkProfile;
+use parparaw_dfa::Dfa;
+use parparaw_parallel::scan::{self, ScanOp};
+use parparaw_parallel::{reduce, AtomicBitmap, Bitmap, Grid};
+
+/// A column offset that is either relative (no record delimiter seen, the
+/// offset adds to the predecessor's) or absolute (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ColOffset {
+    /// True when absolute.
+    pub abs: bool,
+    /// The offset value.
+    pub value: u32,
+}
+
+impl ColOffset {
+    /// The scan identity: relative zero.
+    pub const IDENTITY: ColOffset = ColOffset {
+        abs: false,
+        value: 0,
+    };
+}
+
+/// The paper's ⊕ operator for column offsets: an absolute right operand
+/// wins; a relative right operand adds to the left.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColOffsetOp;
+
+impl ScanOp for ColOffsetOp {
+    type Item = ColOffset;
+
+    fn identity(&self) -> ColOffset {
+        ColOffset::IDENTITY
+    }
+
+    fn combine(&self, a: &ColOffset, b: &ColOffset) -> ColOffset {
+        if b.abs {
+            *b
+        } else {
+            ColOffset {
+                abs: a.abs,
+                value: a.value + b.value,
+            }
+        }
+    }
+}
+
+/// Per-chunk metadata out of pass 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChunkMeta {
+    /// Record delimiters in this chunk (`popc` of the record bitmap).
+    pub record_count: u32,
+    /// Field delimiters after the last record delimiter (or since chunk
+    /// start when none) — the rel/abs column offset handed onward.
+    pub col_offset: ColOffset,
+    /// Field delimiters before the first record delimiter (the paper's
+    /// "relative min/max" for column-count inference). Only meaningful
+    /// when `record_count > 0`.
+    pub first_rel: u32,
+    /// Min/max column count over records that began *and* ended inside
+    /// this chunk; `mid_valid` guards emptiness.
+    pub min_mid: u32,
+    /// See `min_mid`.
+    pub max_mid: u32,
+    /// Whether `min_mid`/`max_mid` hold any record.
+    pub mid_valid: bool,
+}
+
+/// The combined output of pass 2 and the offset scans.
+#[derive(Debug)]
+pub struct MetaPass {
+    /// Bitmap of record-delimiter symbol positions.
+    pub records: Bitmap,
+    /// Bitmap of field-delimiter symbol positions.
+    pub fields: Bitmap,
+    /// Bitmap of control symbols (syntax that is neither data nor
+    /// delimiter: quotes, comment bodies, carriage returns, …).
+    pub control: Bitmap,
+    /// Bitmap of positions whose transition was invalid.
+    pub rejects: Bitmap,
+    /// Per-chunk metadata.
+    pub chunk_meta: Vec<ChunkMeta>,
+    /// Per-chunk absolute starting record index.
+    pub record_offsets: Vec<u64>,
+    /// Per-chunk absolute starting column index.
+    pub col_offsets: Vec<u32>,
+    /// Total number of record delimiters.
+    pub total_record_delims: u64,
+    /// Total records including a trailing record not closed by a
+    /// delimiter.
+    pub num_records: u64,
+    /// Whether a trailing (undelimited) record exists.
+    pub has_trailing_record: bool,
+    /// Column count of the trailing record (meaningful when
+    /// `has_trailing_record`).
+    pub trailing_columns: u32,
+    /// Observed min/max columns per record across the whole input
+    /// (`None` when there are no records).
+    pub observed_columns: Option<(u32, u32)>,
+    /// Observed min/max columns over *closed* records only (excluding a
+    /// trailing undelimited record) — what streaming partitions use, since
+    /// their trailing record is deferred to the next partition.
+    pub observed_columns_closed: Option<(u32, u32)>,
+    /// Work profile of the pass-2 kernel.
+    pub profile_simulate: WorkProfile,
+    /// Work profile of the offset scans and reductions.
+    pub profile_scan: WorkProfile,
+    /// Wall time of the pass-2 kernel.
+    pub simulate_wall: std::time::Duration,
+    /// Wall time of the scans and reductions.
+    pub scan_wall: std::time::Duration,
+}
+
+/// Run pass 2 plus the offset scans.
+pub fn identify_columns_and_records(
+    grid: &Grid,
+    dfa: &Dfa,
+    input: &[u8],
+    chunk_size: usize,
+    start_states: &[u8],
+) -> MetaPass {
+    let n = input.len();
+    let n_chunks = num_chunks(n, chunk_size);
+    debug_assert_eq!(start_states.len(), n_chunks);
+    let ranges: Vec<std::ops::Range<usize>> = chunk_ranges(n, chunk_size).collect();
+
+    let t0 = std::time::Instant::now();
+    let records = AtomicBitmap::new(n);
+    let fields = AtomicBitmap::new(n);
+    let control = AtomicBitmap::new(n);
+    let rejects = AtomicBitmap::new(n);
+
+    // Kernel: single-instance DFA per chunk from its known start state.
+    let chunk_meta: Vec<ChunkMeta> = grid.map_indexed(n_chunks, |c| {
+        let mut state = start_states[c];
+        let mut meta = ChunkMeta::default();
+        let mut rel: u32 = 0;
+        for i in ranges[c].clone() {
+            let g = dfa.group_of(input[i]);
+            let emit = Dfa::emit_in_row(dfa.emit_row(g), state);
+            state = Dfa::next_in_row(dfa.transition_row(g), state);
+            if emit.is_reject() {
+                rejects.set(i);
+            }
+            if emit.is_record_delimiter() {
+                records.set(i);
+                if meta.record_count == 0 {
+                    meta.first_rel = rel;
+                } else {
+                    let cols = rel + 1;
+                    if meta.mid_valid {
+                        meta.min_mid = meta.min_mid.min(cols);
+                        meta.max_mid = meta.max_mid.max(cols);
+                    } else {
+                        meta.min_mid = cols;
+                        meta.max_mid = cols;
+                        meta.mid_valid = true;
+                    }
+                }
+                meta.record_count += 1;
+                rel = 0;
+            } else if emit.is_field_delimiter() {
+                fields.set(i);
+                rel += 1;
+            } else if emit.is_control() {
+                control.set(i);
+            }
+        }
+        meta.col_offset = ColOffset {
+            abs: meta.record_count > 0,
+            value: rel,
+        };
+        meta
+    });
+
+    let records = records.into_bitmap();
+    let fields = fields.into_bitmap();
+    let control = control.into_bitmap();
+    let rejects = rejects.into_bitmap();
+    let simulate_wall = t0.elapsed();
+    let t1 = std::time::Instant::now();
+
+    let mut profile_simulate = WorkProfile::new("parse/pass2");
+    profile_simulate.kernel_launches = 1;
+    profile_simulate.bytes_read = n as u64;
+    // Four bitmaps plus the per-chunk metadata.
+    profile_simulate.bytes_written = (n as u64).div_ceil(2) + (n_chunks as u64) * 24;
+    profile_simulate.parallel_ops = n as u64 * 2;
+
+    // Offset scans.
+    let counts: Vec<u64> = chunk_meta.iter().map(|m| m.record_count as u64).collect();
+    let (record_offsets, total_record_delims) =
+        scan::exclusive_scan_total(grid, &counts, &scan::AddOp);
+
+    let offs: Vec<ColOffset> = chunk_meta.iter().map(|m| m.col_offset).collect();
+    let (col_scan, col_total) = scan::exclusive_scan_total(grid, &offs, &ColOffsetOp);
+    // A still-relative scanned value means "no record delimiter anywhere
+    // before this chunk": the input's first record starts at column 0, so
+    // relative values are absolute here.
+    let col_offsets: Vec<u32> = col_scan.iter().map(|c| c.value).collect();
+
+    // Trailing record: any field delimiter or data symbol after the last
+    // record delimiter.
+    let (has_trailing_record, trailing_columns) = match records.last_set_bit() {
+        Some(last) => {
+            let after = n - last - 1;
+            let non_data = fields.count_ones_from(last + 1)
+                + control.count_ones_from(last + 1);
+            let data_after = after as u64 - non_data;
+            let field_after = fields.count_ones_from(last + 1);
+            (data_after + field_after > 0, col_total.value + 1)
+        }
+        None => (n > 0 && {
+            let non_data = fields.count_ones() + control.count_ones();
+            (n as u64 - non_data) + fields.count_ones() > 0
+        }, col_total.value + 1),
+    };
+
+    let num_records = total_record_delims + u64::from(has_trailing_record);
+
+    // Observed min/max columns per record (for inference & validation).
+    let per_chunk_minmax: Vec<(u32, u32)> = chunk_meta
+        .iter()
+        .enumerate()
+        .map(|(c, m)| {
+            let mut mn = u32::MAX;
+            let mut mx = 0u32;
+            if m.record_count > 0 {
+                // The first record closed in this chunk spans back to the
+                // chunk's starting column offset.
+                let cols = col_offsets[c] + m.first_rel + 1;
+                mn = mn.min(cols);
+                mx = mx.max(cols);
+            }
+            if m.mid_valid {
+                mn = mn.min(m.min_mid);
+                mx = mx.max(m.max_mid);
+            }
+            (mn, mx)
+        })
+        .collect();
+    let (mut mn, mut mx) = reduce::reduce(grid, &per_chunk_minmax, &reduce::MinMaxU32Op);
+    let observed_columns_closed = (total_record_delims > 0).then_some((mn, mx));
+    if has_trailing_record {
+        mn = mn.min(trailing_columns);
+        mx = mx.max(trailing_columns);
+    }
+    let observed_columns = (num_records > 0).then_some((mn, mx));
+
+    let mut profile_scan = WorkProfile::new("scan/offsets");
+    profile_scan.kernel_launches = 6; // two scans + reduction
+    profile_scan.bytes_read = (n_chunks as u64) * 24 * 2;
+    profile_scan.bytes_written = (n_chunks as u64) * 12;
+    profile_scan.parallel_ops = n_chunks as u64 * 4;
+
+    let scan_wall = t1.elapsed();
+    MetaPass {
+        records,
+        fields,
+        control,
+        rejects,
+        chunk_meta,
+        record_offsets,
+        col_offsets,
+        total_record_delims,
+        num_records,
+        has_trailing_record,
+        trailing_columns,
+        observed_columns,
+        observed_columns_closed,
+        profile_simulate,
+        profile_scan,
+        simulate_wall,
+        scan_wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::determine_contexts;
+    use parparaw_dfa::csv::rfc4180_paper;
+
+    fn run(input: &[u8], chunk_size: usize, workers: usize) -> MetaPass {
+        let dfa = rfc4180_paper();
+        let grid = Grid::new(workers);
+        let ctx = determine_contexts(&grid, &dfa, input, chunk_size);
+        identify_columns_and_records(&grid, &dfa, input, chunk_size, &ctx.start_states)
+    }
+
+    #[test]
+    fn col_offset_op_matches_paper_definition() {
+        let op = ColOffsetOp;
+        let rel = |v| ColOffset { abs: false, value: v };
+        let abs = |v| ColOffset { abs: true, value: v };
+        assert_eq!(op.combine(&rel(1), &rel(2)), rel(3));
+        assert_eq!(op.combine(&abs(5), &rel(2)), abs(7));
+        assert_eq!(op.combine(&rel(5), &abs(0)), abs(0));
+        assert_eq!(op.combine(&abs(5), &abs(1)), abs(1));
+        // Identity laws.
+        for x in [rel(3), abs(2)] {
+            assert_eq!(op.combine(&op.identity(), &x), x);
+            assert_eq!(op.combine(&x, &op.identity()), x);
+        }
+    }
+
+    #[test]
+    fn figure4_example_offsets() {
+        // The Fig. 4 input with '?' as newline:
+        // 1941,199.99,"Bookcase"\n1938,19.99,"Frame\n""Ribba"", black"\n
+        // chunked into 10-byte chunks (the figure uses 6 chunks of ~10).
+        let input = b"1941,199.99,\"Bookcase\"\n1938,19.99,\"Frame\n\"\"Ribba\"\", black\"\n";
+        let m = run(input, 10, 3);
+        assert_eq!(m.total_record_delims, 2);
+        assert_eq!(m.num_records, 2);
+        assert!(!m.has_trailing_record);
+        // Both records have 3 columns.
+        assert_eq!(m.observed_columns, Some((3, 3)));
+        // Record bitmap: positions of the two real record delimiters.
+        assert_eq!(m.records.count_ones(), 2);
+        assert!(m.records.get(22));
+        assert_eq!(m.records.last_set_bit(), Some(input.len() - 1));
+        // The quoted newline (inside "Frame\n""Ribba""…", position 40) is
+        // NOT a record delimiter.
+        assert_eq!(input[40], b'\n');
+        assert!(!m.records.get(40));
+        // Field bitmap: 2 commas per record outside quotes; the comma
+        // inside "Ribba", black" is data.
+        assert_eq!(m.fields.count_ones(), 4);
+    }
+
+    #[test]
+    fn record_offsets_are_prefix_sums() {
+        let input = b"a\nb\nc\nd\ne\nf\n";
+        let m = run(input, 4, 2);
+        // chunks of 4 bytes: "a\nb\n" "c\nd\n" "e\nf\n" → 2 records each.
+        assert_eq!(m.record_offsets, vec![0, 2, 4]);
+        assert_eq!(m.num_records, 6);
+    }
+
+    #[test]
+    fn trailing_record_detected() {
+        let m = run(b"a,b\nc,d", 3, 2);
+        assert!(m.has_trailing_record);
+        assert_eq!(m.num_records, 2);
+        assert_eq!(m.trailing_columns, 2);
+        // Trailing comma only.
+        let m = run(b"a\nb,", 2, 1);
+        assert!(m.has_trailing_record);
+        assert_eq!(m.trailing_columns, 2);
+        // Trailing quote-control only: "a\n\"" would leave ENC with zero
+        // data — the opening quote is control, so no trailing record data…
+        // but an enclosure implies a field is open; the DFA sees only
+        // control, so no trailing record is counted.
+        let m = run(b"a\n", 2, 1);
+        assert!(!m.has_trailing_record);
+        assert_eq!(m.num_records, 1);
+    }
+
+    #[test]
+    fn no_delimiters_at_all() {
+        let m = run(b"hello", 2, 2);
+        assert_eq!(m.total_record_delims, 0);
+        assert!(m.has_trailing_record);
+        assert_eq!(m.num_records, 1);
+        assert_eq!(m.observed_columns, Some((1, 1)));
+        let m = run(b"", 2, 2);
+        assert_eq!(m.num_records, 0);
+        assert_eq!(m.observed_columns, None);
+    }
+
+    #[test]
+    fn column_offsets_resolve_across_chunks() {
+        // 1-byte chunks: every chunk starts mid-record somewhere.
+        let input = b"a,b,c\nd,e,f\n";
+        let m = run(input, 1, 3);
+        // Chunk starting at byte 2 (the 'b') has column offset 1.
+        assert_eq!(m.col_offsets[2], 1);
+        assert_eq!(m.col_offsets[4], 2);
+        // After the newline (byte 6 = 'd'), offsets reset.
+        assert_eq!(m.col_offsets[6], 0);
+        assert_eq!(m.col_offsets[8], 1);
+    }
+
+    #[test]
+    fn inconsistent_columns_observed() {
+        // Paper §4.1's example: "1,Apples\n2\n" — 2 then 1 columns.
+        let m = run(b"1,Apples\n2\n", 4, 2);
+        assert_eq!(m.observed_columns, Some((1, 2)));
+        assert_eq!(m.num_records, 2);
+    }
+
+    #[test]
+    fn rejects_are_flagged() {
+        let m = run(b"a\"b\n", 2, 1); // quote inside unquoted field
+        assert!(m.rejects.count_ones() > 0);
+    }
+
+    #[test]
+    fn results_independent_of_chunk_size_and_workers() {
+        let input = b"x,\"y,\ny\",z\nlong,\"quoted \"\" value\",3\ntail,r";
+        let reference = run(input, 7, 1);
+        for chunk_size in [1usize, 2, 5, 31, 100] {
+            for workers in [1usize, 3] {
+                let m = run(input, chunk_size, workers);
+                assert_eq!(m.records, reference.records, "cs={chunk_size}");
+                assert_eq!(m.fields, reference.fields, "cs={chunk_size}");
+                assert_eq!(m.control, reference.control, "cs={chunk_size}");
+                assert_eq!(m.num_records, reference.num_records);
+                assert_eq!(m.observed_columns, reference.observed_columns);
+                assert_eq!(m.has_trailing_record, reference.has_trailing_record);
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Parser configuration.
+
+use parparaw_columnar::Schema;
+use parparaw_device::DeviceConfig;
+use parparaw_parallel::Grid;
+use std::collections::HashSet;
+
+/// How symbols are associated with their field after partitioning
+/// (paper §4.1, Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaggingMode {
+    /// Every symbol carries a four-byte record tag; the CSS index is built
+    /// by run-length-encoding the tags. Fully robust: tolerates a varying
+    /// number of fields per record.
+    RecordTagged,
+    /// Delimiters are replaced by a terminator symbol inside the CSS (like
+    /// `\0` for C strings); the index is recovered from terminator
+    /// positions. Requires a consistent number of columns per record and a
+    /// terminator byte that never appears in field data.
+    InlineTerminated {
+        /// The terminator byte; the ASCII unit separator `0x1F` by default.
+        terminator: u8,
+    },
+    /// Delimiters keep their original byte but an auxiliary boolean vector
+    /// marks them; the index is recovered from the flags. Requires a
+    /// consistent number of columns per record.
+    VectorDelimited,
+}
+
+impl Default for TaggingMode {
+    fn default() -> Self {
+        TaggingMode::RecordTagged
+    }
+}
+
+impl TaggingMode {
+    /// The paper's default terminator suggestion (ASCII unit separator).
+    pub fn inline_default() -> Self {
+        TaggingMode::InlineTerminated { terminator: 0x1F }
+    }
+
+    /// Short name used in reports (`tagged`, `inline`, `delimited`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaggingMode::RecordTagged => "tagged",
+            TaggingMode::InlineTerminated { .. } => "inline",
+            TaggingMode::VectorDelimited => "delimited",
+        }
+    }
+}
+
+/// Which parallel prefix-scan implementation drives the pipeline's
+/// context scan (the other scans are small enough not to matter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanAlgorithm {
+    /// Three-phase blocked scan (upsweep, spine, downsweep).
+    #[default]
+    Blocked,
+    /// Merrill & Garland single-pass decoupled look-back — the algorithm
+    /// the paper builds on (§2).
+    DecoupledLookback,
+}
+
+/// Options controlling a parse.
+#[derive(Debug, Clone)]
+pub struct ParserOptions {
+    /// Bytes per chunk (one virtual GPU thread per chunk). The paper finds
+    /// 31 bytes optimal on the Titan X (§5.1) and we keep that default.
+    pub chunk_size: usize,
+    /// The CPU worker grid executing the virtual threads.
+    pub grid: Grid,
+    /// Tagging mode (paper §4.1).
+    pub tagging: TaggingMode,
+    /// Output schema. `None` infers the column count and (with
+    /// [`ParserOptions::infer_types`]) the column types.
+    pub schema: Option<Schema>,
+    /// Infer column types when no schema is given; otherwise everything is
+    /// Utf8.
+    pub infer_types: bool,
+    /// Parse only these column indexes (projection pushdown, §4.3:
+    /// "skipping records and selecting columns"). `None` keeps all.
+    pub selected_columns: Option<Vec<usize>>,
+    /// Records (0-based) to skip entirely.
+    pub skip_records: HashSet<u64>,
+    /// Rows (0-based, raw-newline bounded — *not* the same as records, see
+    /// paper §4.3) to prune in an initial pass before parsing. Useful for
+    /// dropping header lines.
+    pub skip_rows: Vec<u64>,
+    /// Treat the first record as a header: its fields become the output
+    /// column names (when no schema is given) and it is excluded from the
+    /// data.
+    pub header: bool,
+    /// Reject records whose column count differs from the schema /
+    /// inferred count (§4.3, "inferring or validating number of columns").
+    pub validate_column_count: bool,
+    /// Field size in bytes above which the block/device-level
+    /// collaboration path is taken (§3.3). `None` derives it from the
+    /// device's shared-memory size.
+    pub collaboration_threshold: Option<usize>,
+    /// The simulated device used for cost accounting.
+    pub device: DeviceConfig,
+    /// Prefix-scan implementation for the context scan.
+    pub scan_algorithm: ScanAlgorithm,
+}
+
+impl Default for ParserOptions {
+    fn default() -> Self {
+        ParserOptions {
+            chunk_size: 31,
+            grid: Grid::auto(),
+            tagging: TaggingMode::default(),
+            schema: None,
+            infer_types: true,
+            selected_columns: None,
+            skip_records: HashSet::new(),
+            skip_rows: Vec::new(),
+            header: false,
+            validate_column_count: false,
+            collaboration_threshold: None,
+            device: DeviceConfig::titan_x_pascal(),
+            scan_algorithm: ScanAlgorithm::default(),
+        }
+    }
+}
+
+impl ParserOptions {
+    /// Options with an explicit schema.
+    pub fn with_schema(schema: Schema) -> Self {
+        ParserOptions {
+            schema: Some(schema),
+            ..ParserOptions::default()
+        }
+    }
+
+    /// Builder-style chunk size override.
+    pub fn chunk_size(mut self, bytes: usize) -> Self {
+        self.chunk_size = bytes.max(1);
+        self
+    }
+
+    /// Builder-style grid override.
+    pub fn grid(mut self, grid: Grid) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Builder-style tagging-mode override.
+    pub fn tagging(mut self, mode: TaggingMode) -> Self {
+        self.tagging = mode;
+        self
+    }
+
+    /// The effective collaboration threshold.
+    pub fn effective_collaboration_threshold(&self) -> usize {
+        self.collaboration_threshold
+            .unwrap_or_else(|| self.device.collaboration_threshold_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = ParserOptions::default();
+        assert_eq!(o.chunk_size, 31);
+        assert_eq!(o.tagging, TaggingMode::RecordTagged);
+        assert!(o.infer_types);
+    }
+
+    #[test]
+    fn builders() {
+        let o = ParserOptions::default()
+            .chunk_size(0)
+            .tagging(TaggingMode::inline_default());
+        assert_eq!(o.chunk_size, 1, "chunk size clamps to 1");
+        assert_eq!(o.tagging.name(), "inline");
+    }
+
+    #[test]
+    fn threshold_defaults_from_device() {
+        let o = ParserOptions::default();
+        assert_eq!(
+            o.effective_collaboration_threshold(),
+            o.device.collaboration_threshold_bytes()
+        );
+        let o = ParserOptions {
+            collaboration_threshold: Some(1234),
+            ..ParserOptions::default()
+        };
+        assert_eq!(o.effective_collaboration_threshold(), 1234);
+    }
+}

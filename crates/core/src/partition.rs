@@ -1,0 +1,221 @@
+//! Partitioning symbols by column (paper §3.3).
+//!
+//! A stable LSD radix sort on the column tags gathers each column's
+//! symbols into its *concatenated symbol string* (CSS) while preserving
+//! input order within the column. The payload moved alongside the sort key
+//! depends on the tagging mode — record tags ride along only in
+//! record-tagged mode, which is exactly the extra memory traffic that
+//! Figure 11 shows the other modes avoiding. The histogram maintained by
+//! the sort doubles as the column-offsets table.
+
+use crate::tagging::Tagged;
+use parparaw_device::WorkProfile;
+use parparaw_parallel::scan::{exclusive_scan_seq, AddOp};
+use parparaw_parallel::{histogram, radix, Grid};
+
+/// Column-partitioned symbol data.
+#[derive(Debug)]
+pub struct Partitioned {
+    /// Symbols grouped by column (CSS of column `c` =
+    /// `symbols[col_starts[c]..col_starts[c+1]]`).
+    pub symbols: Vec<u8>,
+    /// Record tag per symbol (record-tagged mode only, parallel to
+    /// `symbols`).
+    pub rec_tags: Vec<u32>,
+    /// Delimiter flags (vector-delimited mode only, parallel to
+    /// `symbols`).
+    pub delim_flags: Option<Vec<bool>>,
+    /// Start offset of each column's CSS; length `num_columns + 1`.
+    pub col_starts: Vec<u64>,
+    /// Work profile of the partitioning passes.
+    pub profile: WorkProfile,
+}
+
+/// Partition the tagged symbols into per-column CSSs.
+pub fn partition_by_column(grid: &Grid, tagged: Tagged, num_columns: usize) -> Partitioned {
+    let n = tagged.symbols.len();
+    let num_columns = num_columns.max(1);
+    let max_key = (num_columns - 1) as u32;
+    let digit_bits = 8u32;
+    let passes = (32 - max_key.leading_zeros()).div_ceil(digit_bits).max(1);
+
+    // The histogram over column tags gives the CSS offsets (reusing the
+    // sort's histogram, as the paper notes).
+    let hist = histogram::histogram(grid, &tagged.col_tags, num_columns);
+    let mut col_starts = exclusive_scan_seq(&hist, &AddOp);
+    col_starts.push(n as u64);
+
+    let mode_bytes: u64;
+    let mut keys = tagged.col_tags;
+    let (symbols, rec_tags, delim_flags) = match (&tagged.delim_flags, !tagged.rec_tags.is_empty())
+    {
+        (Some(_), _) => {
+            // Vector-delimited: payload = (symbol, flag).
+            let flags = tagged.delim_flags.unwrap();
+            let mut values: Vec<(u8, bool)> = tagged
+                .symbols
+                .iter()
+                .copied()
+                .zip(flags.iter().copied())
+                .collect();
+            radix::sort_pairs_by_key(grid, &mut keys, &mut values, max_key, digit_bits);
+            mode_bytes = 4 + 2;
+            let symbols: Vec<u8> = values.iter().map(|v| v.0).collect();
+            let flags: Vec<bool> = values.iter().map(|v| v.1).collect();
+            (symbols, Vec::new(), Some(flags))
+        }
+        (None, true) => {
+            // Record-tagged: payload = (symbol, record tag).
+            let mut values: Vec<(u8, u32)> = tagged
+                .symbols
+                .iter()
+                .copied()
+                .zip(tagged.rec_tags.iter().copied())
+                .collect();
+            radix::sort_pairs_by_key(grid, &mut keys, &mut values, max_key, digit_bits);
+            mode_bytes = 4 + 5;
+            let symbols: Vec<u8> = values.iter().map(|v| v.0).collect();
+            let recs: Vec<u32> = values.iter().map(|v| v.1).collect();
+            (symbols, recs, None)
+        }
+        (None, false) => {
+            // Inline-terminated: payload = symbol only.
+            let mut values = tagged.symbols;
+            radix::sort_pairs_by_key(grid, &mut keys, &mut values, max_key, digit_bits);
+            mode_bytes = 4 + 1;
+            (values, Vec::new(), None)
+        }
+    };
+
+    // Each pass reads and writes (key + payload) for every item, plus the
+    // histogram/scan traffic.
+    let mut profile = WorkProfile::new("partition");
+    profile.kernel_launches = 3 * passes;
+    profile.bytes_read = passes as u64 * n as u64 * mode_bytes;
+    profile.bytes_written = passes as u64 * n as u64 * mode_bytes;
+    profile.parallel_ops = passes as u64 * n as u64 * 2;
+
+    Partitioned {
+        symbols,
+        rec_tags,
+        delim_flags,
+        col_starts,
+        profile,
+    }
+}
+
+impl Partitioned {
+    /// The CSS byte slice of column `c`.
+    pub fn css(&self, c: usize) -> &[u8] {
+        &self.symbols[self.col_starts[c] as usize..self.col_starts[c + 1] as usize]
+    }
+
+    /// The record tags of column `c` (record-tagged mode).
+    pub fn css_rec_tags(&self, c: usize) -> &[u32] {
+        if self.rec_tags.is_empty() {
+            &[]
+        } else {
+            &self.rec_tags[self.col_starts[c] as usize..self.col_starts[c + 1] as usize]
+        }
+    }
+
+    /// The delimiter flags of column `c` (vector-delimited mode).
+    pub fn css_flags(&self, c: usize) -> Option<&[bool]> {
+        self.delim_flags
+            .as_ref()
+            .map(|f| &f[self.col_starts[c] as usize..self.col_starts[c + 1] as usize])
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.col_starts.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::determine_contexts;
+    use crate::options::TaggingMode;
+    use crate::meta::identify_columns_and_records;
+    use crate::tagging::{tag_symbols, TagConfig};
+    use parparaw_dfa::csv::rfc4180_paper;
+
+    fn tag(input: &[u8], mode: TaggingMode, cols: usize) -> (Grid, Tagged) {
+        let dfa = rfc4180_paper();
+        let grid = Grid::new(3);
+        let ctx = determine_contexts(&grid, &dfa, input, 7);
+        let meta = identify_columns_and_records(&grid, &dfa, input, 7, &ctx.start_states);
+        let col_map: Vec<Option<u32>> = (0..cols as u32).map(Some).collect();
+        let cfg = TagConfig {
+            mode,
+            col_map: &col_map,
+            skip_records: &[],
+            expected_columns: None,
+            num_out_rows: meta.num_records,
+        };
+        let t = tag_symbols(&grid, input, 7, &meta, &cfg);
+        (grid, t)
+    }
+
+    #[test]
+    fn figure5_record_tagged_partitioning() {
+        let input = b"1941,199.99,\"Bookcase\"\n1938,19.99,\"Frame\n\"\"Ribba\"\", black\"\n";
+        let (grid, t) = tag(input, TaggingMode::RecordTagged, 3);
+        let p = partition_by_column(&grid, t, 3);
+        // Paper Fig. 5: the three columns' CSSs.
+        assert_eq!(p.css(0), b"19411938");
+        assert_eq!(p.css(1), b"199.9919.99");
+        assert_eq!(p.css(2), b"BookcaseFrame\n\"Ribba\", black");
+        // Record tags are stable within a column.
+        assert_eq!(p.css_rec_tags(0), &[0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(p.num_columns(), 3);
+    }
+
+    #[test]
+    fn figure6_inline_partitioning() {
+        let input = b"0,\"Apples\"\n1,\n2,\"Pears\"\n";
+        let (grid, t) = tag(input, TaggingMode::InlineTerminated { terminator: 0 }, 2);
+        let p = partition_by_column(&grid, t, 2);
+        assert_eq!(p.css(0), b"0\01\02\0");
+        assert_eq!(p.css(1), b"Apples\0\0Pears\0");
+        assert!(p.css_rec_tags(0).is_empty());
+    }
+
+    #[test]
+    fn figure6_vector_partitioning() {
+        let input = b"0,\"Apples\"\n1,\n2,\"Pears\"\n";
+        let (grid, t) = tag(input, TaggingMode::VectorDelimited, 2);
+        let p = partition_by_column(&grid, t, 2);
+        assert_eq!(p.css(1), b"Apples\n\nPears\n");
+        let flags = p.css_flags(1).unwrap();
+        let delim_positions: Vec<usize> = flags
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(delim_positions, vec![6, 7, 13]);
+    }
+
+    #[test]
+    fn many_columns_take_multiple_radix_passes() {
+        // 300 columns forces two 8-bit digits.
+        let cols = 300usize;
+        let row: String = (0..cols).map(|c| format!("{c}")).collect::<Vec<_>>().join(",");
+        let input = format!("{row}\n{row}\n");
+        let (grid, t) = tag(input.as_bytes(), TaggingMode::RecordTagged, cols);
+        let p = partition_by_column(&grid, t, cols);
+        assert_eq!(p.css(0), b"00");
+        assert_eq!(p.css(299), b"299299");
+        assert_eq!(p.css(42), b"4242");
+    }
+
+    #[test]
+    fn empty_input_partitions() {
+        let (grid, t) = tag(b"", TaggingMode::RecordTagged, 1);
+        let p = partition_by_column(&grid, t, 1);
+        assert_eq!(p.num_columns(), 1);
+        assert!(p.css(0).is_empty());
+    }
+}

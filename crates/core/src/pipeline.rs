@@ -1,0 +1,790 @@
+//! The end-to-end ParPaRaw pipeline (paper §3).
+//!
+//! [`Parser::parse`] runs the five phases over an in-memory input:
+//!
+//! 1. **parse** — pass 1 (multi-DFA state-transition vectors) and pass 2
+//!    (bitmaps + per-chunk metadata from the recovered contexts);
+//! 2. **scan** — the composite-operator scan and the record/column offset
+//!    scans;
+//! 3. **tag** — compaction of relevant symbols with their column/record
+//!    tags (mode-dependent, §4.1);
+//! 4. **partition** — stable radix sort into per-column CSSs;
+//! 5. **convert** — CSS indexing, optional type inference, and typed
+//!    columnar materialisation.
+//!
+//! Wall-clock timings are reported per phase in the categories of paper
+//! Fig. 9, and every kernel's measured work profile is replayed through
+//! the simulated device's cost model.
+
+use crate::convert::convert_column;
+use crate::css::{index_inline, index_record_tagged, index_vector, FieldIndex};
+use crate::error::ParseError;
+use crate::infer::infer_column_type;
+use crate::meta::identify_columns_and_records;
+use crate::options::{ParserOptions, TaggingMode};
+use crate::partition::partition_by_column;
+use crate::tagging::{tag_symbols, TagConfig};
+use crate::timings::{ParseOutput, ParseStats, PhaseTimings, SimulatedTimings};
+use parparaw_columnar::{DataType, Field, Schema, Table};
+use parparaw_device::{CostModel, WorkProfile};
+use parparaw_dfa::csv::{rfc4180, CsvDialect};
+use parparaw_dfa::Dfa;
+use std::time::Instant;
+
+/// A configured ParPaRaw parser: a DFA (the format) plus options.
+#[derive(Debug, Clone)]
+pub struct Parser {
+    dfa: Dfa,
+    options: ParserOptions,
+}
+
+impl Parser {
+    /// Build a parser from a format automaton and options.
+    pub fn new(dfa: Dfa, options: ParserOptions) -> Self {
+        Parser { dfa, options }
+    }
+
+    /// The format automaton.
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// The options.
+    pub fn options(&self) -> &ParserOptions {
+        &self.options
+    }
+
+    /// Parse `input` into a columnar table.
+    pub fn parse(&self, input: &[u8]) -> Result<ParseOutput, ParseError> {
+        Ok(self.parse_impl(input, false)?.0)
+    }
+
+    /// Parse one streaming partition: the trailing record not closed by a
+    /// record delimiter is *not* parsed; instead the number of raw bytes
+    /// it spans is returned so the caller can prepend them to the next
+    /// partition (the carry-over of paper §4.4).
+    pub fn parse_partition(&self, input: &[u8]) -> Result<(ParseOutput, usize), ParseError> {
+        self.parse_impl(input, true)
+    }
+
+    fn parse_impl(
+        &self,
+        input: &[u8],
+        drop_trailing: bool,
+    ) -> Result<(ParseOutput, usize), ParseError> {
+        let o = &self.options;
+        let grid = &o.grid;
+        let cs = o.chunk_size;
+        let mut timings = PhaseTimings::default();
+        let mut profiles: Vec<WorkProfile> = Vec::new();
+
+        // Phase 0 (optional): prune skipped rows before anything else
+        // (paper §4.3 — removing rows changes the parsing context of
+        // everything after them, so it cannot wait).
+        let pruned;
+        let input: &[u8] = if o.skip_rows.is_empty() {
+            input
+        } else {
+            let mut skip = o.skip_rows.clone();
+            skip.sort_unstable();
+            skip.dedup();
+            let t = Instant::now();
+            pruned = crate::rows::prune_rows(grid, input, cs, &skip);
+            timings.parse += t.elapsed();
+            profiles.push(pruned.profile.clone());
+            &pruned.bytes
+        };
+
+        // Header: split the first record off as column names before the
+        // parallel machinery sees the data.
+        let header_names: Option<Vec<String>>;
+        let input: &[u8] = if o.header && !input.is_empty() {
+            let (names, rest) = split_header(&self.dfa, input);
+            header_names = Some(names);
+            rest
+        } else {
+            header_names = None;
+            input
+        };
+
+        // Phases 1+2: context recovery and metadata.
+        let ctx = crate::context::determine_contexts_with(
+            grid,
+            &self.dfa,
+            input,
+            cs,
+            o.scan_algorithm,
+        );
+        let meta = identify_columns_and_records(grid, &self.dfa, input, cs, &ctx.start_states);
+        timings.parse += ctx.simulate_wall + meta.simulate_wall;
+        timings.scan += ctx.scan_wall + meta.scan_wall;
+        let input_valid = self.dfa.is_accepting(ctx.final_state);
+        profiles.push(ctx.profile_simulate.clone());
+        profiles.push(ctx.profile_scan.clone());
+        profiles.push(meta.profile_simulate.clone());
+        profiles.push(meta.profile_scan.clone());
+
+        // Column universe: schema count or inferred maximum. Streaming
+        // partitions exclude the (deferred) trailing record.
+        let observed = if drop_trailing {
+            meta.observed_columns_closed
+        } else {
+            meta.observed_columns
+        };
+        let (observed_min, observed_max) = observed.unwrap_or((0, 0));
+        let num_raw_cols = match &o.schema {
+            Some(s) => s.num_columns(),
+            None => observed_max.max(1) as usize,
+        };
+
+        // Selection: raw column → output column.
+        let selection: Vec<usize> = match &o.selected_columns {
+            Some(sel) => {
+                let mut s = sel.clone();
+                s.sort_unstable();
+                s.dedup();
+                for &i in &s {
+                    if i >= num_raw_cols {
+                        return Err(ParseError::ColumnOutOfRange {
+                            index: i,
+                            num_columns: num_raw_cols,
+                        });
+                    }
+                }
+                s
+            }
+            None => (0..num_raw_cols).collect(),
+        };
+        let mut col_map: Vec<Option<u32>> = vec![None; num_raw_cols];
+        for (out, &raw) in selection.iter().enumerate() {
+            col_map[raw] = Some(out as u32);
+        }
+        let num_out_cols = selection.len();
+
+        // Tagging-mode preconditions (§4.1: inline/vector require a
+        // constant column count).
+        if !matches!(o.tagging, TaggingMode::RecordTagged)
+            && observed.is_some()
+            && (observed_min as usize) < num_raw_cols
+        {
+            return Err(ParseError::InconsistentColumns {
+                min: observed_min,
+                max: observed_max,
+            });
+        }
+
+        // Record skipping.
+        let mut skip: Vec<u64> = o
+            .skip_records
+            .iter()
+            .copied()
+            .filter(|&r| r < meta.num_records)
+            .collect();
+        let mut carry_len = 0usize;
+        if drop_trailing {
+            // Everything after the last record delimiter is deferred to
+            // the next partition — even when it is control-only (an open
+            // enclosure or a half comment still changes how the next
+            // partition must parse).
+            carry_len = input.len()
+                - meta.records.last_set_bit().map(|i| i + 1).unwrap_or(0);
+            if meta.has_trailing_record {
+                let trailing = meta.num_records - 1;
+                if !skip.contains(&trailing) {
+                    skip.push(trailing);
+                }
+            }
+        }
+        skip.sort_unstable();
+        let num_out_rows = meta.num_records - skip.len() as u64;
+
+        // Phase 3: tagging.
+        let t_tag = Instant::now();
+        let cfg = TagConfig {
+            mode: o.tagging,
+            col_map: &col_map,
+            skip_records: &skip,
+            expected_columns: o.validate_column_count.then_some(num_raw_cols as u32),
+            num_out_rows,
+        };
+        let tagged = tag_symbols(grid, input, cs, &meta, &cfg);
+        timings.tag += t_tag.elapsed();
+        if tagged.terminator_clash {
+            if let TaggingMode::InlineTerminated { terminator } = o.tagging {
+                return Err(ParseError::TerminatorInData { terminator });
+            }
+        }
+        profiles.push(tagged.profile.clone());
+        let mut rejected = tagged.rejected.clone();
+
+        // Trailing-record column validation happens here: the tagging
+        // kernel only sees closed records.
+        if o.validate_column_count
+            && !drop_trailing
+            && meta.has_trailing_record
+            && meta.trailing_columns != num_raw_cols as u32
+        {
+            if let Err(rank) = skip.binary_search(&(meta.num_records - 1)) {
+                let out_row = meta.num_records - 1 - rank as u64;
+                rejected.set(out_row as usize);
+            }
+        }
+
+        // Phase 4: partitioning.
+        let t_part = Instant::now();
+        let tagged_for_partition = crate::tagging::Tagged {
+            rejected: parparaw_parallel::Bitmap::new(0), // moved out above
+            ..tagged
+        };
+        let part = partition_by_column(grid, tagged_for_partition, num_out_cols);
+        timings.partition += t_part.elapsed();
+        profiles.push(part.profile.clone());
+
+        // Phase 5: indexing, inference, conversion.
+        let t_conv = Instant::now();
+        let threshold = o.effective_collaboration_threshold();
+        let num_rows = num_out_rows as usize;
+        let mut columns = Vec::with_capacity(num_out_cols);
+        let mut fields_meta = Vec::with_capacity(num_out_cols);
+        let mut conversion_rejects = 0u64;
+        let mut collaborative_fields = 0u64;
+        let mut block_level_fields = 0u64;
+        let mut convert_profile = WorkProfile::new("convert");
+        let mut total_fields = 0u64;
+
+        for (out_c, &raw_c) in selection.iter().enumerate() {
+            let css = part.css(out_c);
+            let index: FieldIndex = match o.tagging {
+                TaggingMode::RecordTagged => index_record_tagged(grid, part.css_rec_tags(out_c)),
+                TaggingMode::InlineTerminated { terminator } => {
+                    index_inline(grid, css, terminator)
+                }
+                TaggingMode::VectorDelimited => {
+                    index_vector(grid, part.css_flags(out_c).expect("vector mode has flags"))
+                }
+            };
+            total_fields += index.num_fields() as u64;
+            // Index-generation kernels (the per-column launches the paper
+            // blames for small-input overhead, §5.1).
+            let mut idx_profile = WorkProfile::new("convert/index");
+            idx_profile.kernel_launches = 3;
+            idx_profile.bytes_read = css.len() as u64
+                + if matches!(o.tagging, TaggingMode::RecordTagged) {
+                    css.len() as u64 * 4
+                } else {
+                    0
+                };
+            idx_profile.bytes_written = index.num_fields() as u64 * 20;
+            idx_profile.parallel_ops = css.len() as u64;
+            convert_profile.merge(&idx_profile);
+
+            let field = match &o.schema {
+                Some(s) => s.fields[raw_c].clone(),
+                None => {
+                    let dtype = if o.infer_types {
+                        let t = infer_column_type(grid, css, &index);
+                        convert_profile.merge(&{
+                            let mut p = WorkProfile::new("convert/infer");
+                            p.kernel_launches = 2;
+                            p.bytes_read = css.len() as u64;
+                            p.parallel_ops = css.len() as u64;
+                            p
+                        });
+                        t
+                    } else {
+                        DataType::Utf8
+                    };
+                    let name = header_names
+                        .as_ref()
+                        .and_then(|n| n.get(raw_c))
+                        .cloned()
+                        .unwrap_or_else(|| format!("c{raw_c}"));
+                    Field::new(&name, dtype)
+                }
+            };
+
+            let out = convert_column(
+                grid,
+                css,
+                &index,
+                num_rows,
+                field.data_type,
+                field.default.as_ref(),
+                &rejected,
+                threshold,
+            );
+            conversion_rejects += out.reject_count;
+            collaborative_fields += out.collaborative_fields;
+            block_level_fields += out.block_level_fields;
+            convert_profile.merge(&out.profile);
+            columns.push(out.column);
+            fields_meta.push(field);
+        }
+        timings.convert += t_conv.elapsed();
+        convert_profile.label = "convert".to_string();
+        convert_profile.kernel_launches = convert_profile.kernel_launches.max(1);
+        profiles.push(convert_profile);
+
+        let table = Table::new(Schema::new(fields_meta), columns)
+            .expect("pipeline produces equal-length columns");
+
+        let stats = ParseStats {
+            input_bytes: input.len() as u64,
+            num_chunks: crate::chunks::num_chunks(input.len(), cs) as u64,
+            num_records: num_out_rows,
+            num_columns: num_out_cols as u64,
+            rejected_records: rejected.count_ones(),
+            conversion_rejects,
+            collaborative_fields,
+            block_level_fields,
+            observed_columns: meta.observed_columns,
+            output_bytes: table.buffer_bytes() as u64,
+            input_valid,
+            total_fields,
+        };
+
+        let model = CostModel::new(o.device.clone());
+        let simulated = SimulatedTimings::from_profiles(&model, &profiles, input.len() as u64);
+
+        Ok((
+            ParseOutput {
+                table,
+                rejected,
+                stats,
+                timings,
+                profiles,
+                simulated,
+            },
+            carry_len,
+        ))
+    }
+}
+
+/// Split the first record off as a header, returning the column names
+/// and the remaining input. Uses the same DFA emissions as the pipeline,
+/// so quoted header names with embedded delimiters work.
+fn split_header<'a>(dfa: &Dfa, input: &'a [u8]) -> (Vec<String>, &'a [u8]) {
+    let mut names: Vec<String> = Vec::new();
+    let mut cur: Option<Vec<u8>> = None;
+    let mut state = dfa.start_state();
+    let finish = |b: Option<Vec<u8>>, idx: usize| match b {
+        Some(bytes) if !bytes.is_empty() => String::from_utf8_lossy(&bytes).into_owned(),
+        _ => format!("c{idx}"),
+    };
+    for (i, &b) in input.iter().enumerate() {
+        let step = dfa.step(state, b);
+        state = step.next;
+        if step.emit.is_record_delimiter() {
+            let idx = names.len();
+            names.push(finish(cur.take(), idx));
+            return (names, &input[i + 1..]);
+        } else if step.emit.is_field_delimiter() {
+            let idx = names.len();
+            names.push(finish(cur.take(), idx));
+        } else if step.emit.is_data() {
+            cur.get_or_insert_with(Vec::new).push(b);
+        }
+    }
+    let idx = names.len();
+    names.push(finish(cur.take(), idx));
+    (names, &input[input.len()..])
+}
+
+/// Parse RFC 4180 CSV with the default dialect.
+pub fn parse_csv(input: &[u8], options: ParserOptions) -> Result<ParseOutput, ParseError> {
+    Parser::new(rfc4180(&CsvDialect::default()), options).parse(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parparaw_columnar::Value;
+    use parparaw_parallel::Grid;
+
+    fn opts() -> ParserOptions {
+        ParserOptions {
+            grid: Grid::new(2),
+            ..ParserOptions::default()
+        }
+    }
+
+    #[test]
+    fn parses_the_figure4_example() {
+        let input = b"1941,199.99,\"Bookcase\"\n1938,19.99,\"Frame\n\"\"Ribba\"\", black\"\n";
+        let out = parse_csv(input, opts()).unwrap();
+        let t = &out.table;
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.num_columns(), 3);
+        // Types inferred: int, float, text.
+        assert_eq!(t.schema().fields[0].data_type, DataType::Int16);
+        assert_eq!(t.schema().fields[1].data_type, DataType::Float64);
+        assert_eq!(t.schema().fields[2].data_type, DataType::Utf8);
+        assert_eq!(t.value(0, 0), Value::Int64(1941));
+        assert_eq!(t.value(1, 1), Value::Float64(19.99));
+        assert_eq!(t.value(0, 2), Value::Utf8("Bookcase".into()));
+        assert_eq!(
+            t.value(1, 2),
+            Value::Utf8("Frame\n\"Ribba\", black".into())
+        );
+        assert_eq!(out.stats.rejected_records, 0);
+    }
+
+    #[test]
+    fn all_tagging_modes_agree() {
+        let input = b"1,aa,x\n2,bb,y\n3,cc,z\n";
+        let reference = parse_csv(input, opts()).unwrap();
+        for mode in [TaggingMode::inline_default(), TaggingMode::VectorDelimited] {
+            let out = parse_csv(
+                input,
+                ParserOptions {
+                    tagging: mode,
+                    ..opts()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.table, reference.table, "{:?}", mode);
+        }
+    }
+
+    #[test]
+    fn chunk_size_invariance() {
+        let input = b"a,\"b\nb\",3.5\n,x,\n\"q\"\"q\",y,9\ntail,t,1";
+        let reference = parse_csv(input, opts().chunk_size(31)).unwrap();
+        for cs in [1usize, 2, 3, 7, 16, 64, 1000] {
+            let out = parse_csv(input, opts().chunk_size(cs)).unwrap();
+            assert_eq!(out.table, reference.table, "chunk size {cs}");
+        }
+    }
+
+    #[test]
+    fn schema_with_defaults_and_validation() {
+        use parparaw_columnar::Field;
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("qty", DataType::Int64).with_default(Value::Int64(1)),
+        ]);
+        let input = b"10,\n20,5\n";
+        let out = parse_csv(
+            input,
+            ParserOptions {
+                schema: Some(schema),
+                ..opts()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.table.value(0, 1), Value::Int64(1)); // default
+        assert_eq!(out.table.value(1, 1), Value::Int64(5));
+    }
+
+    #[test]
+    fn column_selection() {
+        let input = b"a,b,c\nd,e,f\n";
+        let out = parse_csv(
+            input,
+            ParserOptions {
+                selected_columns: Some(vec![2, 0]),
+                ..opts()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.table.num_columns(), 2);
+        // Selection preserves schema order, not request order.
+        assert_eq!(out.table.value(0, 0), Value::Utf8("a".into()));
+        assert_eq!(out.table.value(0, 1), Value::Utf8("c".into()));
+        // Out of range errors.
+        let err = parse_csv(
+            input,
+            ParserOptions {
+                selected_columns: Some(vec![9]),
+                ..opts()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseError::ColumnOutOfRange { .. }));
+    }
+
+    #[test]
+    fn skip_records() {
+        let input = b"1,a\n2,b\n3,c\n4,d\n";
+        let out = parse_csv(
+            input,
+            ParserOptions {
+                skip_records: [1u64, 3].into_iter().collect(),
+                ..opts()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.table.num_rows(), 2);
+        assert_eq!(out.table.value(0, 0), Value::Int64(1));
+        assert_eq!(out.table.value(1, 0), Value::Int64(3));
+    }
+
+    #[test]
+    fn column_count_validation_flags_records() {
+        let input = b"1,2\n3\n4,5\n6,7,8\n9,10";
+        let out = parse_csv(
+            input,
+            ParserOptions {
+                schema: Some(Schema::new(vec![
+                    Field::new("a", DataType::Int64),
+                    Field::new("b", DataType::Int64),
+                ])),
+                validate_column_count: true,
+                ..opts()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.stats.num_records, 5);
+        assert!(!out.rejected.get(0));
+        assert!(out.rejected.get(1), "1 column");
+        assert!(!out.rejected.get(2));
+        assert!(out.rejected.get(3), "3 columns");
+        assert!(!out.rejected.get(4), "trailing record with 2 columns");
+        // Rejected rows read as null.
+        assert_eq!(out.table.value(1, 0), Value::Null);
+        assert_eq!(out.table.value(4, 1), Value::Int64(10));
+    }
+
+    #[test]
+    fn trailing_record_column_validation() {
+        let input = b"1,2\n3";
+        let out = parse_csv(
+            input,
+            ParserOptions {
+                schema: Some(Schema::new(vec![
+                    Field::new("a", DataType::Int64),
+                    Field::new("b", DataType::Int64),
+                ])),
+                validate_column_count: true,
+                ..opts()
+            },
+        )
+        .unwrap();
+        assert!(out.rejected.get(1), "trailing record has 1 column");
+    }
+
+    #[test]
+    fn inline_mode_rejects_inconsistent_columns() {
+        let input = b"1,2\n3\n";
+        let err = parse_csv(
+            input,
+            ParserOptions {
+                tagging: TaggingMode::inline_default(),
+                ..opts()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseError::InconsistentColumns { .. }));
+    }
+
+    #[test]
+    fn inline_mode_rejects_terminator_in_data() {
+        let input = b"a\x1fb,c\nd,e\n";
+        let err = parse_csv(
+            input,
+            ParserOptions {
+                tagging: TaggingMode::inline_default(),
+                ..opts()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseError::TerminatorInData { .. }));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_table() {
+        let out = parse_csv(b"", opts()).unwrap();
+        assert_eq!(out.table.num_rows(), 0);
+        assert_eq!(out.stats.num_records, 0);
+    }
+
+    #[test]
+    fn varying_field_counts_in_robust_mode() {
+        // Paper §4.1: "resilient to inputs that contain records with a
+        // varying number of field delimiters per record
+        // (e.g. 1,Apples\n2\n)".
+        let out = parse_csv(b"1,Apples\n2\n", opts()).unwrap();
+        assert_eq!(out.table.num_rows(), 2);
+        assert_eq!(out.table.num_columns(), 2);
+        assert_eq!(out.table.value(0, 1), Value::Utf8("Apples".into()));
+        assert_eq!(out.table.value(1, 1), Value::Null);
+        assert_eq!(out.stats.observed_columns, Some((1, 2)));
+    }
+
+    #[test]
+    fn stats_and_profiles_populated() {
+        let input = b"1,2.5,x\n3,4.5,y\n";
+        let out = parse_csv(input, opts()).unwrap();
+        assert_eq!(out.stats.input_bytes, input.len() as u64);
+        assert!(out.stats.output_bytes > 0);
+        assert!(out.stats.input_valid);
+        assert_eq!(out.stats.total_fields, 6);
+        assert!(out.profiles.len() >= 6);
+        assert!(out.simulated.total_seconds > 0.0);
+        assert!(out.simulated.rate_gbps > 0.0);
+        let cats: Vec<&str> = out.simulated.phases.iter().map(|(c, _)| c.as_str()).collect();
+        for want in ["parse", "scan", "tag", "partition", "convert"] {
+            assert!(cats.contains(&want), "{cats:?}");
+        }
+    }
+
+    #[test]
+    fn utf8_multibyte_content_survives_any_chunking() {
+        let input = "id,text\n1,\"héllo, wörld 🦀\"\n2,日本語テキスト\n".as_bytes();
+        let reference = parse_csv(input, opts().chunk_size(64)).unwrap();
+        for cs in [1usize, 2, 3, 5, 31] {
+            let out = parse_csv(input, opts().chunk_size(cs)).unwrap();
+            assert_eq!(out.table, reference.table, "chunk size {cs}");
+        }
+        assert_eq!(
+            reference.table.value(1, 1),
+            Value::Utf8("héllo, wörld 🦀".into())
+        );
+    }
+
+    #[test]
+    fn comments_dialect_end_to_end() {
+        let dfa = rfc4180(&CsvDialect {
+            comment: Some(b'#'),
+            ..CsvDialect::default()
+        });
+        let parser = Parser::new(dfa, opts());
+        let input = b"# header comment, with \"quotes\"\n1,a\n# mid comment\n2,b\n";
+        let out = parser.parse(input).unwrap();
+        assert_eq!(out.table.num_rows(), 2);
+        assert_eq!(out.table.value(1, 0), Value::Int64(2));
+    }
+}
+
+#[cfg(test)]
+mod skip_rows_tests {
+    use super::*;
+    use parparaw_columnar::Value;
+    use parparaw_parallel::Grid;
+
+    fn opts() -> ParserOptions {
+        ParserOptions {
+            grid: Grid::new(2),
+            ..ParserOptions::default()
+        }
+    }
+
+    #[test]
+    fn skip_rows_prunes_before_parsing() {
+        // Drop a header row and a comment-like row; rows are raw-newline
+        // bounded, so the quoted newline in record 1 makes that record
+        // span rows 1-2 and the comment sits on row 3.
+        let input = b"id,name\n1,\"two\nlines\"\n#not,a,row\n2,x\n";
+        let out = parse_csv(
+            input,
+            ParserOptions {
+                skip_rows: vec![0, 3],
+                ..opts()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.table.num_rows(), 2);
+        assert_eq!(out.table.value(0, 0), Value::Int64(1));
+        assert_eq!(out.table.value(0, 1), Value::Utf8("two\nlines".into()));
+        assert_eq!(out.table.value(1, 1), Value::Utf8("x".into()));
+    }
+
+    #[test]
+    fn skip_rows_header_changes_inference() {
+        // With the header, every column is text; without it, types infer.
+        let input = b"id,price\n1,2.5\n2,3.5\n";
+        let with_header = parse_csv(input, opts()).unwrap();
+        assert_eq!(
+            with_header.table.schema().fields[0].data_type,
+            DataType::Utf8
+        );
+        let without = parse_csv(
+            input,
+            ParserOptions {
+                skip_rows: vec![0],
+                ..opts()
+            },
+        )
+        .unwrap();
+        assert_eq!(without.table.schema().fields[0].data_type, DataType::Int8);
+        assert_eq!(
+            without.table.schema().fields[1].data_type,
+            DataType::Float64
+        );
+        assert_eq!(without.table.num_rows(), 2);
+    }
+}
+
+#[cfg(test)]
+mod header_tests {
+    use super::*;
+    use parparaw_columnar::Value;
+    use parparaw_parallel::Grid;
+
+    fn opts() -> ParserOptions {
+        ParserOptions {
+            grid: Grid::new(2),
+            header: true,
+            ..ParserOptions::default()
+        }
+    }
+
+    #[test]
+    fn header_names_and_types() {
+        let input = b"id,price,\"name, full\"\n1,2.5,Bookcase\n2,3.5,Frame\n";
+        let out = parse_csv(input, opts()).unwrap();
+        let names: Vec<&str> = out
+            .table
+            .schema()
+            .fields
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["id", "price", "name, full"]);
+        assert_eq!(out.table.schema().fields[0].data_type, DataType::Int8);
+        assert_eq!(out.table.num_rows(), 2);
+        assert_eq!(out.table.value(0, 2), Value::Utf8("Bookcase".into()));
+    }
+
+    #[test]
+    fn header_with_quoted_newline() {
+        let input = b"\"two\nline header\",b\n1,2\n";
+        let out = parse_csv(input, opts()).unwrap();
+        assert_eq!(out.table.schema().fields[0].name, "two\nline header");
+        assert_eq!(out.table.num_rows(), 1);
+    }
+
+    #[test]
+    fn header_only_input() {
+        let out = parse_csv(b"a,b,c", opts()).unwrap();
+        assert_eq!(out.table.num_rows(), 0);
+        // Column structure still derives from the header... but with no
+        // data there is exactly one inferred column universe of size 1;
+        // names fall back where the header is wider than the data.
+        assert!(out.table.num_columns() >= 1);
+    }
+
+    #[test]
+    fn unnamed_header_fields_get_defaults() {
+        let input = b"id,,x\n1,2,3\n";
+        let out = parse_csv(input, opts()).unwrap();
+        let names: Vec<&str> = out
+            .table
+            .schema()
+            .fields
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["id", "c1", "x"]);
+    }
+
+    #[test]
+    fn header_streams_once() {
+        let input = b"id,v\n1,10\n2,20\n3,30\n4,40\n";
+        let parser = Parser::new(rfc4180(&CsvDialect::default()), opts());
+        let streamed = parser.parse_stream(input, 8).unwrap();
+        assert_eq!(streamed.table.num_rows(), 4);
+        assert_eq!(streamed.table.schema().fields[0].name, "id");
+        assert_eq!(streamed.table.value(3, 1), Value::Int64(40));
+    }
+}

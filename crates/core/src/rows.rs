@@ -1,0 +1,170 @@
+//! Row skipping (paper §4.3).
+//!
+//! "It is worth noting that rows are different from records, as some
+//! records may span multiple rows. Since ignoring rows may interfere with
+//! the assignment of symbols to columns and records, ParPaRaw has to
+//! ensure that rows are ignored early on. Hence, ParPaRaw ignores a set of
+//! rows by performing an initial pass over the input, pruning symbols of
+//! ignored rows."
+//!
+//! A *row* is bounded by raw newline bytes, independent of any quoting
+//! context — that is exactly why skipping must happen **before** parsing:
+//! removing a row can close or open an enclosure for everything after it.
+//! The prepass is data-parallel: a per-chunk newline count, a prefix sum
+//! to assign every byte its row index, and the usual count → scan →
+//! scatter compaction to produce the pruned buffer.
+
+use crate::chunks::{chunk_ranges, num_chunks};
+use parparaw_device::WorkProfile;
+use parparaw_parallel::grid::SlotWriter;
+use parparaw_parallel::scan;
+use parparaw_parallel::Grid;
+
+/// The pruned input plus accounting.
+#[derive(Debug)]
+pub struct PrunedRows {
+    /// The input with all bytes of the skipped rows removed (including
+    /// their terminating newlines).
+    pub bytes: Vec<u8>,
+    /// Number of rows seen in the original input.
+    pub total_rows: u64,
+    /// Number of rows removed.
+    pub skipped_rows: u64,
+    /// Work profile of the prepass.
+    pub profile: WorkProfile,
+}
+
+/// Remove the rows whose 0-based indexes appear in `skip` (must be
+/// sorted). Rows are newline-bounded; the final unterminated row counts.
+pub fn prune_rows(grid: &Grid, input: &[u8], chunk_size: usize, skip: &[u64]) -> PrunedRows {
+    debug_assert!(skip.windows(2).all(|w| w[0] < w[1]), "skip must be sorted");
+    let n = input.len();
+    let n_chunks = num_chunks(n, chunk_size);
+    let ranges: Vec<std::ops::Range<usize>> = chunk_ranges(n, chunk_size).collect();
+
+    // Per-chunk newline counts → per-chunk starting row index.
+    let counts: Vec<u64> = grid.map_indexed(n_chunks, |c| {
+        input[ranges[c].clone()]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count() as u64
+    });
+    let (row_offsets, total_newlines) = scan::exclusive_scan_total(grid, &counts, &scan::AddOp);
+    let total_rows = total_newlines
+        + u64::from(n > 0 && input.last() != Some(&b'\n'));
+
+    let is_skipped = |row: u64| skip.binary_search(&row).is_ok();
+
+    // Pass A: bytes kept per chunk.
+    let kept_counts: Vec<u64> = grid.map_indexed(n_chunks, |c| {
+        let mut row = row_offsets[c];
+        let mut kept = 0u64;
+        for &b in &input[ranges[c].clone()] {
+            if !is_skipped(row) {
+                kept += 1;
+            }
+            if b == b'\n' {
+                row += 1;
+            }
+        }
+        kept
+    });
+    let (write_offsets, total_kept) = scan::exclusive_scan_total(grid, &kept_counts, &scan::AddOp);
+
+    // Pass B: scatter kept bytes.
+    let mut bytes = vec![0u8; total_kept as usize];
+    {
+        let bw = SlotWriter::new(&mut bytes);
+        grid.run_partitioned(n_chunks, |_, chunks| {
+            for c in chunks {
+                let mut row = row_offsets[c];
+                let mut dst = write_offsets[c] as usize;
+                for &b in &input[ranges[c].clone()] {
+                    if !is_skipped(row) {
+                        unsafe { bw.write(dst, b) };
+                        dst += 1;
+                    }
+                    if b == b'\n' {
+                        row += 1;
+                    }
+                }
+            }
+        });
+    }
+
+    let skipped_rows = skip.iter().filter(|&&r| r < total_rows).count() as u64;
+    let mut profile = WorkProfile::new("parse/prune-rows");
+    profile.kernel_launches = 3;
+    profile.bytes_read = n as u64 * 2;
+    profile.bytes_written = total_kept;
+    profile.parallel_ops = n as u64 * 2;
+
+    PrunedRows {
+        bytes,
+        total_rows,
+        skipped_rows,
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prune(input: &[u8], skip: &[u64]) -> PrunedRows {
+        prune_rows(&Grid::new(3), input, 5, skip)
+    }
+
+    #[test]
+    fn removes_whole_rows() {
+        let out = prune(b"row0\nrow1\nrow2\nrow3\n", &[1, 3]);
+        assert_eq!(out.bytes, b"row0\nrow2\n");
+        assert_eq!(out.total_rows, 4);
+        assert_eq!(out.skipped_rows, 2);
+    }
+
+    #[test]
+    fn rows_differ_from_records() {
+        // A record spanning two rows via a quoted newline: skipping row 1
+        // removes the *second half* of the record — by design, rows are
+        // raw-newline bounded (the paper's point about pruning early).
+        let input = b"a,\"x\ny\",b\nend\n";
+        let out = prune(input, &[1]);
+        assert_eq!(out.bytes, b"a,\"x\nend\n");
+        assert_eq!(out.total_rows, 3);
+    }
+
+    #[test]
+    fn unterminated_final_row() {
+        let out = prune(b"a\nb", &[1]);
+        assert_eq!(out.bytes, b"a\n");
+        assert_eq!(out.total_rows, 2);
+        let out = prune(b"a\nb", &[0]);
+        assert_eq!(out.bytes, b"b");
+    }
+
+    #[test]
+    fn empty_and_out_of_range() {
+        let out = prune(b"", &[0, 5]);
+        assert!(out.bytes.is_empty());
+        assert_eq!(out.total_rows, 0);
+        assert_eq!(out.skipped_rows, 0);
+        let out = prune(b"a\nb\n", &[7]);
+        assert_eq!(out.bytes, b"a\nb\n");
+        assert_eq!(out.skipped_rows, 0);
+    }
+
+    #[test]
+    fn deterministic_across_chunkings_and_workers() {
+        let input = b"header\n1,2,3\n# comment row\n4,5,6\n7,8,9";
+        let reference = prune_rows(&Grid::new(1), input, 100, &[0, 2]);
+        for cs in [1usize, 3, 7, 64] {
+            for workers in [1usize, 4] {
+                let out = prune_rows(&Grid::new(workers), input, cs, &[0, 2]);
+                assert_eq!(out.bytes, reference.bytes, "cs={cs} w={workers}");
+                assert_eq!(out.total_rows, reference.total_rows);
+            }
+        }
+        assert_eq!(reference.bytes, b"1,2,3\n4,5,6\n7,8,9");
+    }
+}

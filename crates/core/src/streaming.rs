@@ -1,0 +1,629 @@
+//! End-to-end streaming (paper §4.4, Fig. 7).
+//!
+//! Inputs that do not fit device memory (or arrive from the host) are
+//! split into partitions that are *transferred*, *parsed*, and *returned*
+//! in a double-buffered pipeline so the three stages of different
+//! partitions overlap. The incomplete record at the end of each partition
+//! is carried over and prepended to the next one.
+//!
+//! Two things happen here:
+//!
+//! 1. a **real threaded executor** runs the three stages on this host —
+//!    a transfer stage that copies raw partitions into owned buffers (the
+//!    H2D stand-in), the parser stage (with carry-over), and a collector
+//!    stage (the D2H stand-in) — connected by bounded channels of capacity
+//!    one, which is exactly the double-buffer discipline of Fig. 7;
+//! 2. every partition's **measured work** is recorded so the simulated
+//!    device can replay the full Fig. 7 dependency DAG over the PCIe link
+//!    model ([`StreamedOutput::streaming_plan`]).
+
+use crate::error::ParseError;
+use crate::pipeline::Parser;
+use crate::timings::ParseOutput;
+use parparaw_columnar::{Schema, Table};
+use parparaw_device::streaming::PartitionCost;
+use parparaw_device::{CostModel, PcieLink, StreamingPlan};
+use std::time::{Duration, Instant};
+
+/// Measurements for one streamed partition.
+#[derive(Debug, Clone)]
+pub struct PartitionReport {
+    /// Raw bytes transferred for this partition (excluding the carry,
+    /// which is copied device-side).
+    pub input_bytes: u64,
+    /// Bytes of the carry prepended from the previous partition.
+    pub carry_bytes: u64,
+    /// Columnar output bytes returned.
+    pub output_bytes: u64,
+    /// Wall-clock parse time on this host.
+    pub parse_wall: Duration,
+    /// Simulated on-device parse seconds (cost model over the partition's
+    /// measured work profiles).
+    pub parse_seconds_simulated: f64,
+    /// Records produced by this partition.
+    pub records: u64,
+}
+
+/// The result of a streamed parse.
+#[derive(Debug)]
+pub struct StreamedOutput {
+    /// The concatenated table across all partitions.
+    pub table: Table,
+    /// Per-partition measurements, in order.
+    pub partitions: Vec<PartitionReport>,
+    /// Total rejected records.
+    pub rejected_records: u64,
+    /// End-to-end wall-clock time of the threaded executor.
+    pub wall: Duration,
+}
+
+impl StreamedOutput {
+    /// Build the Fig. 7 schedule inputs for the device simulator.
+    pub fn streaming_plan(&self, link: PcieLink) -> StreamingPlan {
+        StreamingPlan {
+            link,
+            partitions: self
+                .partitions
+                .iter()
+                .map(|p| PartitionCost {
+                    input_bytes: p.input_bytes,
+                    output_bytes: p.output_bytes,
+                    carry_bytes: p.carry_bytes,
+                    parse_seconds: p.parse_seconds_simulated,
+                })
+                .collect(),
+        }
+    }
+
+    /// Convenience: simulated end-to-end seconds over the given link.
+    pub fn simulated_end_to_end_seconds(&self, model: &CostModel, link: PcieLink) -> f64 {
+        self.streaming_plan(link).simulate(model).total_seconds
+    }
+}
+
+impl Parser {
+    /// Parse `input` as a stream of `partition_size`-byte partitions with
+    /// carry-over, using a three-stage threaded pipeline.
+    ///
+    /// When no schema is configured, the first partition is parsed with
+    /// type inference and its inferred schema is fixed for the rest of the
+    /// stream (a stream cannot retroactively re-type data it has already
+    /// returned).
+    pub fn parse_stream(
+        &self,
+        input: &[u8],
+        partition_size: usize,
+    ) -> Result<StreamedOutput, ParseError> {
+        let partition_size = partition_size.max(1);
+        let t0 = Instant::now();
+
+        let num_partitions = input.len().div_ceil(partition_size).max(1);
+        let (tx_raw, rx_raw) = crossbeam::channel::bounded::<(Vec<u8>, bool)>(1);
+        let (tx_out, rx_out) =
+            crossbeam::channel::bounded::<(Table, PartitionReport, u64)>(1);
+
+        let mut result: Result<StreamedOutput, ParseError> = Err(ParseError::InvalidInput {
+            final_state: "unreached".into(),
+        });
+        let mut header_names_out: Option<Vec<String>> = None;
+
+        crossbeam::thread::scope(|s| {
+            // Stage 1 — "transfer": copy raw partitions into owned buffers
+            // (the host→device DMA stand-in). The bounded(1) channel plus
+            // the buffer being filled makes this a double buffer.
+            s.spawn(move |_| {
+                for p in 0..num_partitions {
+                    let start = p * partition_size;
+                    let end = ((p + 1) * partition_size).min(input.len());
+                    let buf = input[start..end].to_vec();
+                    if tx_raw.send((buf, p + 1 == num_partitions)).is_err() {
+                        return;
+                    }
+                }
+            });
+
+            // Stage 3 — "return": collect per-partition outputs (the
+            // device→host stand-in).
+            let collector = s.spawn(|_| {
+                let mut tables: Vec<Table> = Vec::new();
+                let mut reports: Vec<PartitionReport> = Vec::new();
+                let mut rejected = 0u64;
+                while let Ok((table, report, rej)) = rx_out.recv() {
+                    tables.push(table);
+                    reports.push(report);
+                    rejected += rej;
+                }
+                (tables, reports, rejected)
+            });
+
+            // Stage 2 — parse with carry-over (this thread).
+            let parse_result = (|| -> Result<(), ParseError> {
+                let mut carry: Vec<u8> = Vec::new();
+                let mut parser: Option<Parser> = None;
+                // The stream's header is consumed once, up front; every
+                // partition then parses header-free.
+                let mut header_pending = self.options().header;
+                let base = if header_pending {
+                    let mut opts = self.options().clone();
+                    opts.header = false;
+                    Parser::new(self.dfa().clone(), opts)
+                } else {
+                    self.clone()
+                };
+                while let Ok((buf, is_last)) = rx_raw.recv() {
+                    let raw_len = buf.len() as u64;
+                    let carry_bytes = carry.len() as u64;
+                    let mut work = carry;
+                    work.extend_from_slice(&buf);
+                    drop(buf);
+
+                    if header_pending {
+                        match strip_header(base.dfa(), &work, is_last) {
+                            HeaderSplit::Complete(names, rest_at) => {
+                                header_names_out = Some(names);
+                                work.drain(..rest_at);
+                                header_pending = false;
+                            }
+                            HeaderSplit::NeedMore => {
+                                carry = work;
+                                continue;
+                            }
+                        }
+                    }
+
+                    // Fix the schema after the first partition.
+                    let active: &Parser = match &parser {
+                        Some(p) => p,
+                        None => &base,
+                    };
+                    let tw = Instant::now();
+                    let (out, carry_len): (ParseOutput, usize) = if is_last {
+                        (active.parse(&work)?, 0)
+                    } else {
+                        active.parse_partition(&work)?
+                    };
+                    let parse_wall = tw.elapsed();
+                    if parser.is_none()
+                        && out.stats.num_records > 0
+                        && active.options().schema.is_none()
+                    {
+                        let mut opts = base.options().clone();
+                        opts.schema = Some(fixed_schema(out.table.schema()));
+                        parser = Some(Parser::new(self.dfa().clone(), opts));
+                    }
+
+                    carry = work[work.len() - carry_len..].to_vec();
+                    let report = PartitionReport {
+                        input_bytes: raw_len,
+                        carry_bytes,
+                        output_bytes: out.stats.output_bytes,
+                        parse_wall,
+                        parse_seconds_simulated: out.simulated.total_seconds,
+                        records: out.stats.num_records,
+                    };
+                    let rejected = out.stats.rejected_records;
+                    if tx_out.send((out.table, report, rejected)).is_err() {
+                        break;
+                    }
+                }
+                drop(tx_out);
+                Ok(())
+            })();
+            // Make sure the raw channel is drained/closed before joining.
+            drop(rx_raw);
+
+            let (tables, reports, rejected) = collector.join().expect("collector panicked");
+            result = parse_result.map(|()| {
+                // Zero-row partitions (fully carried over) may predate the
+                // schema freeze; they contribute nothing, so drop them.
+                let refs: Vec<&Table> = tables.iter().filter(|t| t.num_rows() > 0).collect();
+                let mut table = if refs.is_empty() {
+                    tables.into_iter().next().unwrap_or_else(Table::empty)
+                } else {
+                    Table::concat(&refs).expect("partitions share the fixed schema")
+                };
+                if let (Some(names), None) = (&header_names_out, &self.options().schema) {
+                    table = table.renamed(names);
+                }
+                StreamedOutput {
+                    table,
+                    partitions: reports,
+                    rejected_records: rejected,
+                    wall: t0.elapsed(),
+                }
+            });
+        })
+        .expect("streaming thread panicked");
+
+        result
+    }
+}
+
+/// Freeze an output table's schema for subsequent partitions (the
+/// inferred per-column types become the declared types).
+fn fixed_schema(s: &Schema) -> Schema {
+    s.clone()
+}
+
+enum HeaderSplit {
+    /// Header complete: names plus the byte offset where data starts.
+    Complete(Vec<String>, usize),
+    /// No record delimiter yet; buffer more input.
+    NeedMore,
+}
+
+/// Walk the first record of the stream. The stream starts at the DFA's
+/// start state, so a plain sequential walk is exact (quoted newlines in
+/// header names included).
+fn strip_header(dfa: &parparaw_dfa::Dfa, work: &[u8], is_last: bool) -> HeaderSplit {
+    let mut names: Vec<String> = Vec::new();
+    let mut cur: Option<Vec<u8>> = None;
+    let mut state = dfa.start_state();
+    let finish = |b: Option<Vec<u8>>, idx: usize| match b {
+        Some(bytes) if !bytes.is_empty() => String::from_utf8_lossy(&bytes).into_owned(),
+        _ => format!("c{idx}"),
+    };
+    for (i, &b) in work.iter().enumerate() {
+        let step = dfa.step(state, b);
+        state = step.next;
+        if step.emit.is_record_delimiter() {
+            let idx = names.len();
+            names.push(finish(cur.take(), idx));
+            return HeaderSplit::Complete(names, i + 1);
+        } else if step.emit.is_field_delimiter() {
+            let idx = names.len();
+            names.push(finish(cur.take(), idx));
+        } else if step.emit.is_data() {
+            cur.get_or_insert_with(Vec::new).push(b);
+        }
+    }
+    if is_last {
+        let idx = names.len();
+        names.push(finish(cur.take(), idx));
+        HeaderSplit::Complete(names, work.len())
+    } else {
+        HeaderSplit::NeedMore
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::ParserOptions;
+    use parparaw_columnar::{DataType, Field, Value};
+    use parparaw_device::DeviceConfig;
+    use parparaw_dfa::csv::{rfc4180, CsvDialect};
+    use parparaw_parallel::Grid;
+
+    fn parser(schema: Option<Schema>) -> Parser {
+        Parser::new(
+            rfc4180(&CsvDialect::default()),
+            ParserOptions {
+                grid: Grid::new(2),
+                schema,
+                ..ParserOptions::default()
+            },
+        )
+    }
+
+    fn make_input(rows: usize) -> Vec<u8> {
+        let mut s = String::new();
+        for i in 0..rows {
+            s.push_str(&format!(
+                "{},\"text {i}, with comma\",{}.5\n",
+                i % 7,
+                i % 100
+            ));
+        }
+        s.into_bytes()
+    }
+
+    #[test]
+    fn streamed_equals_monolithic() {
+        let input = make_input(200);
+        let p = parser(None);
+        let mono = p.parse(&input).unwrap();
+        for psize in [37usize, 100, 1000, 100_000] {
+            let streamed = p.parse_stream(&input, psize).unwrap();
+            assert_eq!(
+                streamed.table.num_rows(),
+                mono.table.num_rows(),
+                "partition size {psize}"
+            );
+            assert_eq!(streamed.table, mono.table, "partition size {psize}");
+        }
+    }
+
+    #[test]
+    fn carry_over_spans_partitions() {
+        // A quoted field crossing many partition boundaries.
+        let input = b"a,\"long quoted value with, commas\nand newlines\",z\nb,c,d\n";
+        let p = parser(None);
+        let streamed = p.parse_stream(input, 8).unwrap();
+        assert_eq!(streamed.table.num_rows(), 2);
+        assert_eq!(
+            streamed.table.value(0, 1),
+            Value::Utf8("long quoted value with, commas\nand newlines".into())
+        );
+        // Early partitions contribute zero records; their bytes carried.
+        assert!(streamed.partitions.iter().any(|r| r.records == 0));
+        assert!(streamed.partitions.iter().any(|r| r.carry_bytes > 0));
+    }
+
+    #[test]
+    fn schema_fixed_after_first_partition() {
+        // First partition sees only integers; a later one has a float. The
+        // stream's schema freezes on the first partition, so the float
+        // row becomes a conversion reject (null), not a re-typed column.
+        let input = b"1\n2\n3\n4\n5\n6\n7\n8\n2.5\n";
+        let p = parser(None);
+        let streamed = p.parse_stream(input, 8).unwrap();
+        assert_eq!(streamed.table.schema().fields[0].data_type, DataType::Int8);
+        let last = streamed.table.num_rows() - 1;
+        assert_eq!(streamed.table.value(last, 0), Value::Null);
+    }
+
+    #[test]
+    fn explicit_schema_streams_without_inference() {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("text", DataType::Utf8),
+            Field::new("v", DataType::Float64),
+        ]);
+        let input = make_input(50);
+        let p = parser(Some(schema));
+        let streamed = p.parse_stream(&input, 64).unwrap();
+        assert_eq!(streamed.table.num_rows(), 50);
+        assert_eq!(streamed.table.value(49, 0), Value::Int64(49 % 7));
+    }
+
+    #[test]
+    fn empty_input_streams() {
+        let p = parser(None);
+        let s = p.parse_stream(b"", 64).unwrap();
+        assert_eq!(s.table.num_rows(), 0);
+    }
+
+    #[test]
+    fn plan_feeds_device_simulation() {
+        let input = make_input(300);
+        let p = parser(None);
+        let streamed = p.parse_stream(&input, 1024).unwrap();
+        let model = CostModel::new(DeviceConfig::titan_x_pascal());
+        let report = streamed
+            .streaming_plan(PcieLink::pcie3_x16())
+            .simulate(&model);
+        assert!(report.total_seconds > 0.0);
+        // Streaming must beat "transfer everything, then parse, then
+        // return" for multi-partition inputs.
+        let sum_stages: f64 = {
+            let link = PcieLink::pcie3_x16();
+            let transfer = link.h2d_seconds(input.len() as u64);
+            let parse: f64 = streamed
+                .partitions
+                .iter()
+                .map(|r| r.parse_seconds_simulated)
+                .sum();
+            let ret = link.d2h_seconds(streamed.table.buffer_bytes() as u64);
+            transfer + parse + ret
+        };
+        assert!(report.total_seconds <= sum_stages + 1e-9);
+    }
+}
+
+/// A pull-based streaming parse: yields one [`Table`] per partition,
+/// carrying incomplete records across `next()` calls. This is the
+/// integration-friendly shape for pipelines that process batches as they
+/// arrive instead of materialising the whole output
+/// ([`Parser::parse_stream`] does the latter).
+pub struct PartitionIter<'a> {
+    parser: Parser,
+    input: &'a [u8],
+    partition_size: usize,
+    pos: usize,
+    carry: Vec<u8>,
+    schema_frozen: bool,
+    header_pending: bool,
+    header_names: Option<Vec<String>>,
+    done: bool,
+}
+
+impl<'a> PartitionIter<'a> {
+    /// The column names captured from the stream header (populated after
+    /// the first yielded batch when the parser was configured with
+    /// `header = true`).
+    pub fn header_names(&self) -> Option<&[String]> {
+        self.header_names.as_deref()
+    }
+}
+
+impl Parser {
+    /// Iterate the input partition by partition (paper §4.4's pipeline as
+    /// a consumer-driven iterator).
+    pub fn partitions<'a>(&self, input: &'a [u8], partition_size: usize) -> PartitionIter<'a> {
+        let header_pending = self.options().header;
+        let mut opts = self.options().clone();
+        opts.header = false;
+        PartitionIter {
+            parser: Parser::new(self.dfa().clone(), opts),
+            input,
+            partition_size: partition_size.max(1),
+            pos: 0,
+            carry: Vec::new(),
+            schema_frozen: false,
+            header_pending,
+            header_names: None,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for PartitionIter<'_> {
+    type Item = Result<Table, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while !self.done {
+            let end = (self.pos + self.partition_size).min(self.input.len());
+            let is_last = end == self.input.len();
+            let mut work = std::mem::take(&mut self.carry);
+            work.extend_from_slice(&self.input[self.pos..end]);
+            self.pos = end;
+            self.done = is_last;
+
+            if self.header_pending {
+                match strip_header(self.parser.dfa(), &work, is_last) {
+                    HeaderSplit::Complete(names, rest_at) => {
+                        self.header_names = Some(names);
+                        work.drain(..rest_at);
+                        self.header_pending = false;
+                    }
+                    HeaderSplit::NeedMore => {
+                        self.carry = work;
+                        continue;
+                    }
+                }
+            }
+
+            let result = if is_last {
+                self.parser.parse(&work).map(|o| o.table)
+            } else {
+                match self.parser.parse_partition(&work) {
+                    Ok((out, carry_len)) => {
+                        self.carry = work[work.len() - carry_len..].to_vec();
+                        Ok(out.table)
+                    }
+                    Err(e) => Err(e),
+                }
+            };
+
+            match result {
+                Ok(table) => {
+                    // Freeze the inferred schema on the first batch with
+                    // rows, so later batches stay type-compatible.
+                    if !self.schema_frozen
+                        && table.num_rows() > 0
+                        && self.parser.options().schema.is_none()
+                    {
+                        let mut opts = self.parser.options().clone();
+                        opts.schema = Some(table.schema().clone());
+                        self.parser = Parser::new(self.parser.dfa().clone(), opts);
+                        self.schema_frozen = true;
+                    }
+                    let table = match &self.header_names {
+                        Some(names) => table.renamed(names),
+                        None => table,
+                    };
+                    if table.num_rows() == 0 && !self.done {
+                        continue; // fully carried over; pull more input
+                    }
+                    return Some(Ok(table));
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod iter_tests {
+    use super::*;
+    use crate::options::ParserOptions;
+    use parparaw_columnar::Value;
+    use parparaw_dfa::csv::{rfc4180, CsvDialect};
+    use parparaw_parallel::Grid;
+
+    fn parser(header: bool) -> Parser {
+        Parser::new(
+            rfc4180(&CsvDialect::default()),
+            ParserOptions {
+                grid: Grid::new(2),
+                header,
+                ..ParserOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn batches_cover_all_records() {
+        let input: Vec<u8> = (0..100)
+            .map(|i| format!("{i},\"v,{i}\"\n"))
+            .collect::<String>()
+            .into_bytes();
+        let p = parser(false);
+        let mono = p.parse(&input).unwrap();
+        let batches: Vec<Table> = p
+            .partitions(&input, 64)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert!(batches.len() > 1);
+        let total: usize = batches.iter().map(|b| b.num_rows()).sum();
+        assert_eq!(total, mono.table.num_rows());
+        // Concatenating the batches gives the monolithic table.
+        let refs: Vec<&Table> = batches.iter().collect();
+        assert_eq!(Table::concat(&refs).unwrap(), mono.table);
+    }
+
+    #[test]
+    fn header_applies_to_every_batch() {
+        let input = b"id,v\n1,10\n2,20\n3,30\n4,40\n";
+        let p = parser(true);
+        let batches: Vec<Table> = p
+            .partitions(input, 8)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        for b in &batches {
+            assert_eq!(b.schema().fields[0].name, "id");
+        }
+        let total: usize = batches.iter().map(|b| b.num_rows()).sum();
+        assert_eq!(total, 4);
+        assert_eq!(batches.last().unwrap().value(0, 1).is_null(), false);
+    }
+
+    #[test]
+    fn empty_input_yields_one_empty_batch() {
+        let p = parser(false);
+        let batches: Vec<Table> = p.partitions(b"", 8).collect::<Result<_, _>>().unwrap();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].num_rows(), 0);
+    }
+
+    #[test]
+    fn errors_stop_the_iterator() {
+        let p = Parser::new(
+            rfc4180(&CsvDialect::default()),
+            ParserOptions {
+                grid: Grid::new(1),
+                tagging: crate::options::TaggingMode::inline_default(),
+                ..ParserOptions::default()
+            },
+        );
+        // Inconsistent columns error under inline mode.
+        let mut it = p.partitions(b"1,2\n3\n4,5\n", 1024);
+        assert!(matches!(it.next(), Some(Err(_))));
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn quoted_field_across_many_batches() {
+        let mut input = Vec::new();
+        input.extend_from_slice(b"a,\"");
+        input.extend(std::iter::repeat(b'x').take(500));
+        input.extend_from_slice(b"\",z\nb,c,d\n");
+        let p = parser(false);
+        let batches: Vec<Table> = p
+            .partitions(&input, 32)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let total: usize = batches.iter().map(|b| b.num_rows()).sum();
+        assert_eq!(total, 2);
+        let first_batch_with_rows = batches.iter().find(|b| b.num_rows() > 0).unwrap();
+        assert!(matches!(
+            first_batch_with_rows.value(0, 1),
+            Value::Utf8(ref s) if s.len() == 500
+        ));
+    }
+}

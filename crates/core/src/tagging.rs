@@ -1,0 +1,458 @@
+//! Tagging symbols with their record and column (paper §3.2 bottom, §4.1).
+//!
+//! Using the bitmap indexes and the resolved offsets, each chunk walks its
+//! symbols and emits, for every *relevant* symbol, the data needed by the
+//! partitioning step. What is emitted depends on the tagging mode
+//! (paper Fig. 6):
+//!
+//! * **record-tagged** — data symbols only, each carrying `(column-tag,
+//!   record-tag)`;
+//! * **inline-terminated** — data symbols plus a terminator byte in place
+//!   of each field-ending delimiter, carrying only the column tag;
+//! * **vector-delimited** — data symbols plus the original delimiter byte
+//!   flagged in an auxiliary boolean vector.
+//!
+//! Tagging is also where record/column *skipping* happens (paper §4.3):
+//! symbols of skipped records or unselected columns are marked irrelevant
+//! and never emitted, and where per-record rejection (invalid transitions,
+//! wrong column count) is recorded.
+//!
+//! The emission is allocation-free and parallel: a counting pass per chunk,
+//! an exclusive prefix sum over the counts, then a second pass writing
+//! straight into the global arrays — the standard GPU compaction shape.
+
+use crate::chunks::{chunk_ranges, num_chunks};
+use crate::meta::MetaPass;
+use crate::options::TaggingMode;
+use parparaw_device::WorkProfile;
+use parparaw_parallel::grid::SlotWriter;
+use parparaw_parallel::scan;
+use parparaw_parallel::{AtomicBitmap, Bitmap, Grid};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Static configuration for the tagging pass.
+#[derive(Debug)]
+pub struct TagConfig<'a> {
+    /// Tagging mode.
+    pub mode: TaggingMode,
+    /// Raw column index → output column index; `None` drops the column.
+    /// Raw columns `>= col_map.len()` are dropped (and optionally reject
+    /// the record via `expected_columns`).
+    pub col_map: &'a [Option<u32>],
+    /// Sorted list of raw record indexes to skip.
+    pub skip_records: &'a [u64],
+    /// When set, records whose column count differs are rejected.
+    pub expected_columns: Option<u32>,
+    /// Number of output rows (raw records minus skipped).
+    pub num_out_rows: u64,
+}
+
+impl TagConfig<'_> {
+    /// Output row of raw record `rec`, or `None` when skipped.
+    #[inline]
+    pub fn out_row(&self, rec: u64) -> Option<u64> {
+        match self.skip_records.binary_search(&rec) {
+            Ok(_) => None,
+            Err(rank) => Some(rec - rank as u64),
+        }
+    }
+}
+
+/// The tagging output: the compacted symbol stream plus tags.
+#[derive(Debug)]
+pub struct Tagged {
+    /// Relevant symbols, in input order (delimiters included in
+    /// inline/vector modes, replaced by the terminator in inline mode).
+    pub symbols: Vec<u8>,
+    /// Output-column tag per symbol.
+    pub col_tags: Vec<u32>,
+    /// Output-row tag per symbol (record-tagged mode only; empty
+    /// otherwise — that memory saving is the point of the other modes).
+    pub rec_tags: Vec<u32>,
+    /// Auxiliary delimiter flags (vector-delimited mode only).
+    pub delim_flags: Option<Vec<bool>>,
+    /// Per-output-row rejection flags.
+    pub rejected: Bitmap,
+    /// True when inline mode found the terminator byte inside field data.
+    pub terminator_clash: bool,
+    /// Work profile of both tagging passes.
+    pub profile: WorkProfile,
+}
+
+/// Run the two-pass tagging kernel.
+pub fn tag_symbols(
+    grid: &Grid,
+    input: &[u8],
+    chunk_size: usize,
+    meta: &MetaPass,
+    cfg: &TagConfig<'_>,
+) -> Tagged {
+    let n = input.len();
+    let n_chunks = num_chunks(n, chunk_size);
+    let ranges: Vec<std::ops::Range<usize>> = chunk_ranges(n, chunk_size).collect();
+    let include_delims = !matches!(cfg.mode, TaggingMode::RecordTagged);
+    let terminator = match cfg.mode {
+        TaggingMode::InlineTerminated { terminator } => Some(terminator),
+        _ => None,
+    };
+
+    let rejected = AtomicBitmap::new(cfg.num_out_rows as usize);
+    let clash = AtomicBool::new(false);
+
+    // Shared chunk walker. `emit(pos_in_chunk_emission, byte, out_col,
+    // out_row, is_delim)` is called for every relevant symbol.
+    let walk = |c: usize, mut emit: Option<(&SlotWriter<u8>, &SlotWriter<u32>, Option<&SlotWriter<u32>>, Option<&SlotWriter<bool>>, usize)>, mark: bool| -> u64 {
+        let mut rec = meta.record_offsets[c];
+        let mut col = meta.col_offsets[c];
+        let mut count = 0u64;
+        for i in ranges[c].clone() {
+            let b = input[i];
+            let is_rec = meta.records.get(i);
+            let is_fld = !is_rec && meta.fields.get(i);
+            if mark && meta.rejects.get(i) {
+                if let Some(r) = cfg.out_row(rec) {
+                    rejected.set(r as usize);
+                }
+            }
+            if is_rec || is_fld {
+                // The delimiter ends the field at (rec, col).
+                if include_delims {
+                    let kept = cfg
+                        .out_row(rec)
+                        .zip(map_col(cfg.col_map, col))
+                        .map(|(r, oc)| (r, oc));
+                    if let Some((r, oc)) = kept {
+                        if let Some((sym, ct, rt, fl, base)) = emit.as_mut() {
+                            let dst = *base + count as usize;
+                            let byte_out = terminator.unwrap_or(b);
+                            unsafe {
+                                sym.write(dst, byte_out);
+                                ct.write(dst, oc);
+                                if let Some(rt) = rt {
+                                    rt.write(dst, r as u32);
+                                }
+                                if let Some(fl) = fl {
+                                    fl.write(dst, true);
+                                }
+                            }
+                        }
+                        count += 1;
+                    }
+                }
+                if is_rec {
+                    if mark {
+                        if let (Some(expect), Some(r)) = (cfg.expected_columns, cfg.out_row(rec)) {
+                            if col + 1 != expect {
+                                rejected.set(r as usize);
+                            }
+                        }
+                    }
+                    rec += 1;
+                    col = 0;
+                } else {
+                    col += 1;
+                }
+            } else if meta.control.get(i) {
+                // Syntax, not data: never emitted.
+            } else {
+                // Data symbol.
+                if mark {
+                    if let Some(t) = terminator {
+                        if b == t {
+                            clash.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+                let kept = cfg.out_row(rec).zip(map_col(cfg.col_map, col));
+                if let Some((r, oc)) = kept {
+                    if let Some((sym, ct, rt, fl, base)) = emit.as_mut() {
+                        let dst = *base + count as usize;
+                        unsafe {
+                            sym.write(dst, b);
+                            ct.write(dst, oc);
+                            if let Some(rt) = rt {
+                                rt.write(dst, r as u32);
+                            }
+                            if let Some(fl) = fl {
+                                fl.write(dst, false);
+                            }
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+        count
+    };
+
+    // Pass A: count emissions (and mark rejects / clashes once).
+    let counts: Vec<u64> = grid.map_indexed(n_chunks, |c| walk(c, None, true));
+    let (offsets, total) = scan::exclusive_scan_total(grid, &counts, &scan::AddOp);
+    let total = total as usize;
+
+    // Pass B: emit into pre-sized global arrays.
+    let mut symbols = vec![0u8; total];
+    let mut col_tags = vec![0u32; total];
+    let want_rec_tags = matches!(cfg.mode, TaggingMode::RecordTagged);
+    let mut rec_tags = vec![0u32; if want_rec_tags { total } else { 0 }];
+    let want_flags = matches!(cfg.mode, TaggingMode::VectorDelimited);
+    let mut flags = vec![false; if want_flags { total } else { 0 }];
+    {
+        let sym_w = SlotWriter::new(&mut symbols);
+        let ct_w = SlotWriter::new(&mut col_tags);
+        let rt_w = SlotWriter::new(&mut rec_tags);
+        let fl_w = SlotWriter::new(&mut flags);
+        grid.run_partitioned(n_chunks, |_, range| {
+            for c in range {
+                let rt = want_rec_tags.then_some(&rt_w);
+                let fl = want_flags.then_some(&fl_w);
+                walk(c, Some((&sym_w, &ct_w, rt, fl, offsets[c] as usize)), false);
+            }
+        });
+    }
+
+    // Work profile: two passes over the input plus the emission writes.
+    let per_symbol_out = 1
+        + 4
+        + if want_rec_tags { 4 } else { 0 }
+        + if want_flags { 1 } else { 0 };
+    let mut profile = WorkProfile::new("tag");
+    profile.kernel_launches = 2;
+    profile.bytes_read = 2 * (n as u64 + n as u64 / 2); // input + bitmaps, twice
+    profile.bytes_written = total as u64 * per_symbol_out as u64;
+    profile.parallel_ops = 2 * n as u64;
+
+    Tagged {
+        symbols,
+        col_tags,
+        rec_tags,
+        delim_flags: want_flags.then_some(flags),
+        rejected: rejected.into_bitmap(),
+        terminator_clash: clash.load(Ordering::Relaxed),
+        profile,
+    }
+}
+
+#[inline]
+fn map_col(col_map: &[Option<u32>], col: u32) -> Option<u32> {
+    col_map.get(col as usize).copied().flatten()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::determine_contexts;
+    use crate::meta::identify_columns_and_records;
+    use parparaw_dfa::csv::rfc4180_paper;
+
+    fn run_meta(input: &[u8], chunk_size: usize, workers: usize) -> (Grid, MetaPass) {
+        let dfa = rfc4180_paper();
+        let grid = Grid::new(workers);
+        let ctx = determine_contexts(&grid, &dfa, input, chunk_size);
+        let meta = identify_columns_and_records(&grid, &dfa, input, chunk_size, &ctx.start_states);
+        (grid, meta)
+    }
+
+    fn identity_map(n: usize) -> Vec<Option<u32>> {
+        (0..n as u32).map(Some).collect()
+    }
+
+    #[test]
+    fn record_tagged_matches_figure5() {
+        // Fig. 4/5 input: tags per symbol for the Bookcase example.
+        let input = b"1941,199.99,\"Bookcase\"\n1938,19.99,\"Frame\n\"\"Ribba\"\", black\"\n";
+        let (grid, meta) = run_meta(input, 10, 3);
+        let col_map = identity_map(3);
+        let cfg = TagConfig {
+            mode: TaggingMode::RecordTagged,
+            col_map: &col_map,
+            skip_records: &[],
+            expected_columns: None,
+            num_out_rows: meta.num_records,
+        };
+        let t = tag_symbols(&grid, input, 10, &meta, &cfg);
+        // CSS content: all data symbols, no quotes/delims.
+        let s: Vec<u8> = t.symbols.clone();
+        assert_eq!(
+            String::from_utf8_lossy(&s),
+            "1941199.99Bookcase193819.99Frame\n\"Ribba\", black"
+        );
+        // First record's symbols: cols 0,0,0,0 then 1... and recs all 0.
+        assert_eq!(&t.col_tags[..10], &[0, 0, 0, 0, 1, 1, 1, 1, 1, 1]);
+        assert!(t.rec_tags[..18].iter().all(|&r| r == 0));
+        assert!(t.rec_tags[18..].iter().all(|&r| r == 1));
+        assert!(!t.terminator_clash);
+        assert_eq!(t.rejected.count_ones(), 0);
+    }
+
+    #[test]
+    fn inline_terminated_matches_figure6() {
+        // Paper Fig. 6: 0,"Apples"\n1,\n2,"Pears"\n
+        let input = b"0,\"Apples\"\n1,\n2,\"Pears\"\n";
+        let (grid, meta) = run_meta(input, 5, 2);
+        let col_map = identity_map(2);
+        let cfg = TagConfig {
+            mode: TaggingMode::InlineTerminated { terminator: 0 },
+            col_map: &col_map,
+            skip_records: &[],
+            expected_columns: None,
+            num_out_rows: meta.num_records,
+        };
+        let t = tag_symbols(&grid, input, 5, &meta, &cfg);
+        // Column 1's portion (after partitioning) will be
+        // Apples\0\0Pears\0; before partitioning symbols interleave, so
+        // filter by tag here.
+        let col1: Vec<u8> = t
+            .symbols
+            .iter()
+            .zip(&t.col_tags)
+            .filter(|(_, &c)| c == 1)
+            .map(|(&b, _)| b)
+            .collect();
+        assert_eq!(col1, b"Apples\0\0Pears\0");
+        let col0: Vec<u8> = t
+            .symbols
+            .iter()
+            .zip(&t.col_tags)
+            .filter(|(_, &c)| c == 0)
+            .map(|(&b, _)| b)
+            .collect();
+        assert_eq!(col0, b"0\01\02\0");
+        assert!(t.rec_tags.is_empty());
+    }
+
+    #[test]
+    fn vector_delimited_keeps_original_bytes() {
+        let input = b"0,\"Apples\"\n1,\n2,\"Pears\"\n";
+        let (grid, meta) = run_meta(input, 7, 2);
+        let col_map = identity_map(2);
+        let cfg = TagConfig {
+            mode: TaggingMode::VectorDelimited,
+            col_map: &col_map,
+            skip_records: &[],
+            expected_columns: None,
+            num_out_rows: meta.num_records,
+        };
+        let t = tag_symbols(&grid, input, 7, &meta, &cfg);
+        let flags = t.delim_flags.as_ref().unwrap();
+        let col1: Vec<(u8, bool)> = t
+            .symbols
+            .iter()
+            .zip(flags)
+            .zip(&t.col_tags)
+            .filter(|(_, &c)| c == 1)
+            .map(|((&b, &f), _)| (b, f))
+            .collect();
+        // Paper Fig. 6: Apples??Pears? with flags on the delimiters.
+        let bytes: Vec<u8> = col1.iter().map(|p| p.0).collect();
+        assert_eq!(bytes, b"Apples\n\nPears\n");
+        let flagged: Vec<bool> = col1.iter().map(|p| p.1).collect();
+        assert_eq!(
+            flagged,
+            [false, false, false, false, false, false, true, true, false, false, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn skipping_records_and_columns() {
+        let input = b"a,b,c\nd,e,f\ng,h,i\n";
+        let (grid, meta) = run_meta(input, 4, 2);
+        // Keep only columns 0 and 2, skip record 1.
+        let col_map = vec![Some(0), None, Some(1)];
+        let cfg = TagConfig {
+            mode: TaggingMode::RecordTagged,
+            col_map: &col_map,
+            skip_records: &[1],
+            expected_columns: None,
+            num_out_rows: meta.num_records - 1,
+        };
+        let t = tag_symbols(&grid, input, 4, &meta, &cfg);
+        assert_eq!(String::from_utf8_lossy(&t.symbols), "acgi");
+        assert_eq!(t.col_tags, vec![0, 1, 0, 1]);
+        assert_eq!(t.rec_tags, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn column_count_validation_rejects() {
+        let input = b"1,2\n3\n4,5\n";
+        let (grid, meta) = run_meta(input, 3, 1);
+        let col_map = identity_map(2);
+        let cfg = TagConfig {
+            mode: TaggingMode::RecordTagged,
+            col_map: &col_map,
+            skip_records: &[],
+            expected_columns: Some(2),
+            num_out_rows: meta.num_records,
+        };
+        let t = tag_symbols(&grid, input, 3, &meta, &cfg);
+        assert!(!t.rejected.get(0));
+        assert!(t.rejected.get(1), "record with 1 column must reject");
+        assert!(!t.rejected.get(2));
+    }
+
+    #[test]
+    fn terminator_clash_detected() {
+        let input = b"a\x1fb,c\n";
+        let (grid, meta) = run_meta(input, 3, 1);
+        let col_map = identity_map(2);
+        let cfg = TagConfig {
+            mode: TaggingMode::InlineTerminated { terminator: 0x1F },
+            col_map: &col_map,
+            skip_records: &[],
+            expected_columns: None,
+            num_out_rows: meta.num_records,
+        };
+        let t = tag_symbols(&grid, input, 3, &meta, &cfg);
+        assert!(t.terminator_clash);
+    }
+
+    #[test]
+    fn extra_columns_are_dropped() {
+        let input = b"a,b,EXTRA\nc,d\n";
+        let (grid, meta) = run_meta(input, 5, 2);
+        let col_map = identity_map(2); // only 2 columns kept
+        let cfg = TagConfig {
+            mode: TaggingMode::RecordTagged,
+            col_map: &col_map,
+            skip_records: &[],
+            expected_columns: None,
+            num_out_rows: meta.num_records,
+        };
+        let t = tag_symbols(&grid, input, 5, &meta, &cfg);
+        assert_eq!(String::from_utf8_lossy(&t.symbols), "abcd");
+    }
+
+    #[test]
+    fn deterministic_across_chunk_sizes_and_workers() {
+        let input = b"x,\"y,\ny\",z\n1,\"2\",3\n,,\na,b,c";
+        let reference = {
+            let (grid, meta) = run_meta(input, 6, 1);
+            let col_map = identity_map(3);
+            let cfg = TagConfig {
+                mode: TaggingMode::RecordTagged,
+                col_map: &col_map,
+                skip_records: &[],
+                expected_columns: None,
+                num_out_rows: meta.num_records,
+            };
+            tag_symbols(&grid, input, 6, &meta, &cfg)
+        };
+        for chunk_size in [1usize, 3, 10, 31, 200] {
+            for workers in [1usize, 4] {
+                let (grid, meta) = run_meta(input, chunk_size, workers);
+                let col_map = identity_map(3);
+                let cfg = TagConfig {
+                    mode: TaggingMode::RecordTagged,
+                    col_map: &col_map,
+                    skip_records: &[],
+                    expected_columns: None,
+                    num_out_rows: meta.num_records,
+                };
+                let t = tag_symbols(&grid, input, chunk_size, &meta, &cfg);
+                assert_eq!(t.symbols, reference.symbols, "cs={chunk_size} w={workers}");
+                assert_eq!(t.col_tags, reference.col_tags);
+                assert_eq!(t.rec_tags, reference.rec_tags);
+            }
+        }
+    }
+}

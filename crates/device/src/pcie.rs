@@ -1,0 +1,74 @@
+//! The PCIe interconnect model.
+//!
+//! Paper §4.4 and §5.2: the PCIe bus is full-duplex — host-to-device and
+//! device-to-host transfers proceed simultaneously at full bandwidth. The
+//! paper's end-to-end numbers imply an effective per-direction bandwidth
+//! of ≈11.7 GB/s (4.8 GB transferred in 0.41 s), which is the default here.
+
+/// A full-duplex point-to-point link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcieLink {
+    /// Effective host→device bandwidth in GB/s.
+    pub h2d_gbps: f64,
+    /// Effective device→host bandwidth in GB/s.
+    pub d2h_gbps: f64,
+    /// Per-transfer setup latency in microseconds (DMA descriptor setup).
+    pub latency_us: f64,
+}
+
+impl Default for PcieLink {
+    fn default() -> Self {
+        PcieLink::pcie3_x16()
+    }
+}
+
+impl PcieLink {
+    /// PCIe 3.0 ×16 at the effective bandwidth implied by the paper.
+    pub fn pcie3_x16() -> Self {
+        PcieLink {
+            h2d_gbps: 11.7,
+            d2h_gbps: 11.7,
+            latency_us: 10.0,
+        }
+    }
+
+    /// Seconds to move `bytes` host→device.
+    pub fn h2d_seconds(&self, bytes: u64) -> f64 {
+        self.latency_us * 1e-6 + bytes as f64 / (self.h2d_gbps * 1e9)
+    }
+
+    /// Seconds to move `bytes` device→host.
+    pub fn d2h_seconds(&self, bytes: u64) -> f64 {
+        self.latency_us * 1e-6 + bytes as f64 / (self.d2h_gbps * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_4_8_gb_in_0_41_s() {
+        let link = PcieLink::pcie3_x16();
+        let t = link.h2d_seconds(4_823_000_000);
+        assert!((t - 0.41).abs() < 0.01, "t={t}");
+    }
+
+    #[test]
+    fn latency_floors_small_transfers() {
+        let link = PcieLink::pcie3_x16();
+        assert!(link.h2d_seconds(0) >= 9e-6);
+        assert!(link.d2h_seconds(1) < 12e-6);
+    }
+
+    #[test]
+    fn directions_are_independent_parameters() {
+        let link = PcieLink {
+            h2d_gbps: 10.0,
+            d2h_gbps: 5.0,
+            latency_us: 0.0,
+        };
+        assert!((link.h2d_seconds(10_000_000_000) - 1.0).abs() < 1e-9);
+        assert!((link.d2h_seconds(10_000_000_000) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,257 @@
+//! Fluent construction and validation of parsing DFAs.
+//!
+//! ParPaRaw's flexibility comes from "specifying the parsing rules in the
+//! form of a deterministic finite automaton" (paper §1). The builder keeps
+//! that promise ergonomic: declare states, declare symbol groups, declare a
+//! transition (with its semantic emission) for every `(group, state)` pair,
+//! and the builder checks completeness before packing the tables into the
+//! [`crate::Dfa`]'s word-per-row layout.
+
+use crate::dfa::{assert_state_count, Dfa, Emit};
+use crate::symbol::SymbolGroups;
+use crate::MAX_STATES;
+
+/// Errors from [`DfaBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfaError {
+    /// More than [`MAX_STATES`] states were declared.
+    TooManyStates(usize),
+    /// More than 16 symbol groups were declared.
+    TooManyGroups(usize),
+    /// A `(group, state)` pair has no transition.
+    MissingTransition {
+        /// The symbol group lacking a transition.
+        group: u8,
+        /// The state lacking a transition.
+        state: u8,
+    },
+    /// No start state was set.
+    NoStartState,
+    /// A transition referenced an undeclared state or group.
+    OutOfRange,
+}
+
+impl std::fmt::Display for DfaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfaError::TooManyStates(n) => {
+                write!(f, "DFA supports at most {MAX_STATES} states, got {n}")
+            }
+            DfaError::TooManyGroups(n) => write!(f, "at most 16 symbol groups, got {n}"),
+            DfaError::MissingTransition { group, state } => {
+                write!(f, "missing transition for group {group} in state {state}")
+            }
+            DfaError::NoStartState => write!(f, "no start state set"),
+            DfaError::OutOfRange => write!(f, "transition references undeclared state/group"),
+        }
+    }
+}
+
+impl std::error::Error for DfaError {}
+
+/// Handle to a declared state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateId(pub u8);
+
+/// Handle to a declared symbol group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupId(pub u8);
+
+/// Builder for [`Dfa`]. Declare all states and groups first, then the
+/// transitions, then [`DfaBuilder::build`].
+#[derive(Debug, Default)]
+pub struct DfaBuilder {
+    names: Vec<String>,
+    start: Option<u8>,
+    accepting: u16,
+    group_symbols: Vec<Vec<u8>>,
+    transitions: Vec<Option<(u8, Emit)>>, // [group][state] flattened later
+    num_groups_hint: usize,
+}
+
+impl DfaBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        DfaBuilder::default()
+    }
+
+    /// Declare a state; the first declared state is index 0.
+    pub fn state(&mut self, name: &str) -> StateId {
+        let id = self.names.len() as u8;
+        self.names.push(name.to_string());
+        StateId(id)
+    }
+
+    /// Declare a symbol group matching exactly `bytes`. Groups are
+    /// numbered in declaration order; the implicit catch-all group comes
+    /// after all declared groups.
+    pub fn group(&mut self, bytes: &[u8]) -> GroupId {
+        let id = self.group_symbols.len() as u8;
+        self.group_symbols.push(bytes.to_vec());
+        self.num_groups_hint = self.group_symbols.len() + 1;
+        GroupId(id)
+    }
+
+    /// The catch-all group (the `*` row of the paper's Table 1).
+    pub fn catch_all(&self) -> GroupId {
+        GroupId(self.group_symbols.len() as u8)
+    }
+
+    /// Set the sequential start state.
+    pub fn start(&mut self, s: StateId) -> &mut Self {
+        self.start = Some(s.0);
+        self
+    }
+
+    /// Mark states in which the input may validly end.
+    pub fn accepting(&mut self, states: &[StateId]) -> &mut Self {
+        for s in states {
+            self.accepting |= 1 << s.0;
+        }
+        self
+    }
+
+    /// Declare the transition taken when reading a symbol of `group` while
+    /// in `from`, moving to `to` with semantic `emit`.
+    pub fn transition(&mut self, from: StateId, group: GroupId, to: StateId, emit: Emit) -> &mut Self {
+        let num_groups = self.group_symbols.len() + 1; // + catch-all
+        let idx = group.0 as usize * MAX_STATES + from.0 as usize;
+        if self.transitions.len() < num_groups * MAX_STATES {
+            self.transitions.resize(num_groups * MAX_STATES, None);
+        }
+        self.transitions[idx] = Some((to.0, emit));
+        self
+    }
+
+    /// Declare the same transition for *every* group from `from` — handy
+    /// for absorbing sink states.
+    pub fn transition_all_groups(&mut self, from: StateId, to: StateId, emit: Emit) -> &mut Self {
+        let groups: Vec<GroupId> = (0..=self.group_symbols.len() as u8).map(GroupId).collect();
+        for g in groups {
+            self.transition(from, g, to, emit);
+        }
+        self
+    }
+
+    /// Validate completeness and pack the tables.
+    pub fn build(&self) -> Result<Dfa, DfaError> {
+        let num_states = self.names.len();
+        if num_states == 0 || num_states > MAX_STATES {
+            return Err(DfaError::TooManyStates(num_states));
+        }
+        assert_state_count(num_states);
+        let num_groups = self.group_symbols.len() + 1;
+        if num_groups > 16 {
+            return Err(DfaError::TooManyGroups(num_groups));
+        }
+        let start = self.start.ok_or(DfaError::NoStartState)?;
+        if start as usize >= num_states {
+            return Err(DfaError::OutOfRange);
+        }
+
+        let mut trans_rows = vec![0u64; num_groups];
+        let mut emit_rows = vec![0u64; num_groups];
+        for g in 0..num_groups {
+            for s in 0..num_states {
+                let idx = g * MAX_STATES + s;
+                let (to, emit) = self
+                    .transitions
+                    .get(idx)
+                    .copied()
+                    .flatten()
+                    .ok_or(DfaError::MissingTransition {
+                        group: g as u8,
+                        state: s as u8,
+                    })?;
+                if to as usize >= num_states {
+                    return Err(DfaError::OutOfRange);
+                }
+                trans_rows[g] |= (to as u64) << (4 * s);
+                emit_rows[g] |= (emit.bits() as u64) << (4 * s);
+            }
+        }
+
+        let mut symbols = Vec::new();
+        for (g, bytes) in self.group_symbols.iter().enumerate() {
+            for &b in bytes {
+                symbols.push((b, g as u8));
+            }
+        }
+        let groups = SymbolGroups::new(symbols, (num_groups - 1) as u8);
+
+        Ok(Dfa {
+            num_states: num_states as u8,
+            start,
+            accepting: self.accepting,
+            names: self.names.clone(),
+            groups,
+            trans_rows,
+            emit_rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_two_state_machine() {
+        let mut b = DfaBuilder::new();
+        let a = b.state("A");
+        let z = b.state("Z");
+        let g = b.group(&[b'x']);
+        let other = b.catch_all();
+        b.start(a)
+            .accepting(&[a, z])
+            .transition(a, g, z, Emit::CONTROL)
+            .transition(a, other, a, Emit::DATA)
+            .transition(z, g, a, Emit::CONTROL)
+            .transition(z, other, z, Emit::DATA);
+        let dfa = b.build().unwrap();
+        assert_eq!(dfa.num_states(), 2);
+        assert_eq!(dfa.step(0, b'x').next, 1);
+        assert_eq!(dfa.step(1, b'x').next, 0);
+        assert_eq!(dfa.step(0, b'q').next, 0);
+        assert_eq!(dfa.final_state(b"xqqx"), 0);
+        assert_eq!(dfa.final_state(b"xqq"), 1);
+    }
+
+    #[test]
+    fn missing_transition_is_an_error() {
+        let mut b = DfaBuilder::new();
+        let a = b.state("A");
+        let g = b.group(&[b'x']);
+        let _ = g;
+        b.start(a);
+        match b.build() {
+            Err(DfaError::MissingTransition { .. }) => {}
+            other => panic!("expected MissingTransition, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_start_state_is_an_error() {
+        let mut b = DfaBuilder::new();
+        let a = b.state("A");
+        b.transition_all_groups(a, a, Emit::DATA);
+        assert_eq!(b.build().unwrap_err(), DfaError::NoStartState);
+    }
+
+    #[test]
+    fn transition_all_groups_covers_catch_all() {
+        let mut b = DfaBuilder::new();
+        let a = b.state("A");
+        let _g = b.group(&[b'x']);
+        b.start(a).accepting(&[a]);
+        b.transition_all_groups(a, a, Emit::DATA);
+        let dfa = b.build().unwrap();
+        assert_eq!(dfa.final_state(b"xyz"), 0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DfaError::MissingTransition { group: 2, state: 1 };
+        assert!(e.to_string().contains("group 2"));
+    }
+}

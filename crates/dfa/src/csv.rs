@@ -1,0 +1,376 @@
+//! The RFC 4180 CSV automaton of paper Figure 2 / Table 1, plus dialects.
+//!
+//! The paper's evaluation uses "a DFA that is capable of parsing any
+//! RFC4180 compliant input. The DFA defines six states, including one state
+//! to track invalid state transitions." Those states are, in Table 1's
+//! column order:
+//!
+//! | index | name  | meaning |
+//! |-------|-------|---------|
+//! | 0     | `EOR` | start of a record (just consumed a record delimiter) |
+//! | 1     | `ENC` | inside an enclosed (double-quoted) field |
+//! | 2     | `FLD` | inside an unquoted field |
+//! | 3     | `EOF` | end of field (just consumed a field delimiter) |
+//! | 4     | `ESC` | saw a quote inside an enclosed field (escape or close) |
+//! | 5     | `INV` | invalid input (absorbing sink) |
+//!
+//! [`CsvDialect`] additionally supports a configurable field delimiter and
+//! quote symbol, optional carriage-return tolerance, optional line comments
+//! (which add a seventh `CMT` state — the feature that breaks
+//! quote-parity-style parsers, §1), and an optional *recovering* invalid
+//! state that resynchronises at the next record delimiter while flagging
+//! the damaged record for rejection (§4.3's record rejection capability).
+
+use crate::builder::DfaBuilder;
+use crate::dfa::{Dfa, Emit};
+
+/// State index of `EOR` (start of record).
+pub const S_EOR: u8 = 0;
+/// State index of `ENC` (inside enclosed field).
+pub const S_ENC: u8 = 1;
+/// State index of `FLD` (inside unquoted field).
+pub const S_FLD: u8 = 2;
+/// State index of `EOF` (just after a field delimiter).
+pub const S_EOF: u8 = 3;
+/// State index of `ESC` (quote seen inside enclosed field).
+pub const S_ESC: u8 = 4;
+/// State index of `INV` (invalid input).
+pub const S_INV: u8 = 5;
+/// State index of `CMT` (inside a line comment), present only when the
+/// dialect enables comments.
+pub const S_CMT: u8 = 6;
+
+/// A CSV dialect description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvDialect {
+    /// Field delimiter, `,` by default.
+    pub delimiter: u8,
+    /// Enclosure symbol, `"` by default.
+    pub quote: u8,
+    /// Optional line-comment marker (e.g. `#`). A comment line produces no
+    /// record; the marker is only special at the start of a record.
+    pub comment: Option<u8>,
+    /// Tolerate `\r` before `\n` (and drop stray `\r` outside enclosures).
+    pub accept_cr: bool,
+    /// When true, the invalid state resynchronises at the next newline and
+    /// flags the damaged record instead of absorbing the rest of the input.
+    pub recover_invalid: bool,
+}
+
+impl Default for CsvDialect {
+    fn default() -> Self {
+        CsvDialect {
+            delimiter: b',',
+            quote: b'"',
+            comment: None,
+            accept_cr: true,
+            recover_invalid: false,
+        }
+    }
+}
+
+impl CsvDialect {
+    /// The exact automaton of paper Table 1: four symbol groups
+    /// (`\n`, `"`, `,`, `*`), six states, absorbing `INV`.
+    pub fn paper() -> Self {
+        CsvDialect {
+            accept_cr: false,
+            ..CsvDialect::default()
+        }
+    }
+
+    /// Tab-separated values.
+    pub fn tsv() -> Self {
+        CsvDialect {
+            delimiter: b'\t',
+            ..CsvDialect::default()
+        }
+    }
+
+    /// Pipe-separated values.
+    pub fn psv() -> Self {
+        CsvDialect {
+            delimiter: b'|',
+            ..CsvDialect::default()
+        }
+    }
+
+    /// Semicolon-separated values (the common European CSV dialect, where
+    /// `,` is the decimal separator).
+    pub fn semicolon() -> Self {
+        CsvDialect {
+            delimiter: b';',
+            ..CsvDialect::default()
+        }
+    }
+}
+
+/// Build the RFC 4180 automaton for a dialect.
+pub fn rfc4180(d: &CsvDialect) -> Dfa {
+    let mut b = DfaBuilder::new();
+    let eor = b.state("EOR");
+    let enc = b.state("ENC");
+    let fld = b.state("FLD");
+    let eof = b.state("EOF");
+    let esc = b.state("ESC");
+    let inv = b.state("INV");
+    let cmt = d.comment.map(|_| b.state("CMT"));
+
+    let g_nl = b.group(&[b'\n']);
+    let g_q = b.group(&[d.quote]);
+    let g_d = b.group(&[d.delimiter]);
+    let g_cr = d.accept_cr.then(|| b.group(&[b'\r']));
+    let g_cm = d.comment.map(|c| b.group(&[c]));
+    let g_any = b.catch_all();
+
+    let rec = Emit::RECORD_DELIM;
+    let fldel = Emit::FIELD_DELIM;
+    let ctl = Emit::CONTROL;
+    let rej = Emit::REJECT | Emit::CONTROL;
+    let data = Emit::DATA;
+
+    // Newline group — Table 1 row 0: EOR ENC EOR EOR EOR INV.
+    b.transition(eor, g_nl, eor, rec)
+        .transition(enc, g_nl, enc, data)
+        .transition(fld, g_nl, eor, rec)
+        .transition(eof, g_nl, eor, rec)
+        .transition(esc, g_nl, eor, rec);
+    if d.recover_invalid {
+        b.transition(inv, g_nl, eor, rec | Emit::REJECT);
+    } else {
+        b.transition(inv, g_nl, inv, rej);
+    }
+
+    // Quote group — Table 1 row 1: ENC ESC INV ENC ENC INV.
+    b.transition(eor, g_q, enc, ctl)
+        .transition(enc, g_q, esc, ctl)
+        .transition(fld, g_q, inv, rej)
+        .transition(eof, g_q, enc, ctl)
+        .transition(esc, g_q, enc, data) // "" escape: second quote is data
+        .transition(inv, g_q, inv, rej);
+
+    // Delimiter group — Table 1 row 2: EOF ENC EOF EOF EOF INV.
+    b.transition(eor, g_d, eof, fldel)
+        .transition(enc, g_d, enc, data)
+        .transition(fld, g_d, eof, fldel)
+        .transition(eof, g_d, eof, fldel)
+        .transition(esc, g_d, eof, fldel)
+        .transition(inv, g_d, inv, rej);
+
+    // Carriage-return group (dialect extension; not in the paper's table).
+    if let Some(g_cr) = g_cr {
+        b.transition(eor, g_cr, eor, ctl)
+            .transition(enc, g_cr, enc, data)
+            .transition(fld, g_cr, fld, ctl)
+            .transition(eof, g_cr, eof, ctl)
+            .transition(esc, g_cr, esc, ctl)
+            .transition(inv, g_cr, inv, rej);
+    }
+
+    // Comment group (dialect extension): only special at record start.
+    if let (Some(g_cm), Some(cmt)) = (g_cm, cmt) {
+        b.transition(eor, g_cm, cmt, ctl)
+            .transition(enc, g_cm, enc, data)
+            .transition(fld, g_cm, fld, data)
+            .transition(eof, g_cm, fld, data)
+            .transition(esc, g_cm, inv, rej)
+            .transition(inv, g_cm, inv, rej);
+    }
+
+    // Catch-all group — Table 1 row 3: FLD ENC FLD FLD INV INV.
+    b.transition(eor, g_any, fld, data)
+        .transition(enc, g_any, enc, data)
+        .transition(fld, g_any, fld, data)
+        .transition(eof, g_any, fld, data)
+        .transition(esc, g_any, inv, rej)
+        .transition(inv, g_any, inv, rej);
+
+    // The comment state consumes everything up to the newline; the newline
+    // itself is control (a comment line is *not* a record).
+    if let Some(cmt) = cmt {
+        b.transition(cmt, g_nl, eor, ctl)
+            .transition(cmt, g_q, cmt, ctl)
+            .transition(cmt, g_d, cmt, ctl);
+        if let Some(g_cr) = g_cr {
+            b.transition(cmt, g_cr, cmt, ctl);
+        }
+        if let Some(g_cm) = g_cm {
+            b.transition(cmt, g_cm, cmt, ctl);
+        }
+        b.transition(cmt, g_any, cmt, ctl);
+    }
+
+    b.start(eor);
+    let mut accepting = vec![eor, fld, eof, esc];
+    if let Some(cmt) = cmt {
+        accepting.push(cmt);
+    }
+    b.accepting(&accepting);
+
+    b.build().expect("rfc4180 automaton is complete by construction")
+}
+
+/// The paper's exact six-state automaton (`CsvDialect::paper()`).
+pub fn rfc4180_paper() -> Dfa {
+    rfc4180(&CsvDialect::paper())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Walk a string and return (final_state, emissions).
+    fn walk(dfa: &Dfa, input: &[u8]) -> (u8, Vec<Emit>) {
+        let mut s = dfa.start_state();
+        let mut emits = Vec::new();
+        for &b in input {
+            let st = dfa.step(s, b);
+            emits.push(st.emit);
+            s = st.next;
+        }
+        (s, emits)
+    }
+
+    #[test]
+    fn transition_table_matches_paper() {
+        // Paper Table 1, rows (\n, ", ,, *) × columns (EOR ENC FLD EOF ESC INV).
+        let dfa = rfc4180_paper();
+        let want: [[u8; 6]; 4] = [
+            // from:      EOR    ENC    FLD    EOF    ESC    INV
+            /* \n */ [S_EOR, S_ENC, S_EOR, S_EOR, S_EOR, S_INV],
+            /* "  */ [S_ENC, S_ESC, S_INV, S_ENC, S_ENC, S_INV],
+            /* ,  */ [S_EOF, S_ENC, S_EOF, S_EOF, S_EOF, S_INV],
+            /* *  */ [S_FLD, S_ENC, S_FLD, S_FLD, S_INV, S_INV],
+        ];
+        let bytes = [b'\n', b'"', b',', b'x'];
+        for (row, &byte) in want.iter().zip(&bytes) {
+            for (from, &to) in row.iter().enumerate() {
+                assert_eq!(
+                    dfa.step(from as u8, byte).next,
+                    to,
+                    "byte {byte:?} from state {from}"
+                );
+            }
+        }
+        // And the table renders with the paper's state names.
+        let table = dfa.table_string();
+        for name in ["EOR", "ENC", "FLD", "EOF", "ESC", "INV"] {
+            assert!(table.contains(name), "{table}");
+        }
+    }
+
+    #[test]
+    fn simple_record_emissions() {
+        let dfa = rfc4180_paper();
+        let (end, emits) = walk(&dfa, b"ab,cd\n");
+        assert_eq!(end, S_EOR);
+        assert!(emits[0].is_data() && emits[1].is_data());
+        assert!(emits[2].is_field_delimiter());
+        assert!(emits[5].is_record_delimiter());
+        assert!(dfa.validates(b"ab,cd\n"));
+    }
+
+    #[test]
+    fn quoted_delimiters_are_data() {
+        let dfa = rfc4180_paper();
+        let (_, emits) = walk(&dfa, b"\"a,b\nc\"");
+        // Inside the enclosure neither , nor \n delimit.
+        assert!(emits[2].is_data(), "quoted comma is data");
+        assert!(emits[4].is_data(), "quoted newline is data");
+        assert!(emits[0].is_control(), "opening quote is control");
+    }
+
+    #[test]
+    fn escaped_quote_second_is_data() {
+        let dfa = rfc4180_paper();
+        let (end, emits) = walk(&dfa, b"\"a\"\"b\"");
+        assert_eq!(end, S_ESC);
+        assert!(emits[2].is_control(), "first quote of escape");
+        assert!(emits[3].is_data(), "second quote of escape is data");
+        assert!(dfa.validates(b"\"a\"\"b\""));
+    }
+
+    #[test]
+    fn invalid_inputs_reject() {
+        let dfa = rfc4180_paper();
+        // Quote inside unquoted field.
+        assert!(!dfa.validates(b"ab\"c\n"));
+        // Garbage after a closed enclosure.
+        assert!(!dfa.validates(b"\"ab\"x\n"));
+        // Unterminated enclosure (ends in ENC, non-accepting).
+        assert!(!dfa.validates(b"\"abc"));
+    }
+
+    #[test]
+    fn cr_is_tolerated_when_enabled() {
+        let dfa = rfc4180(&CsvDialect::default());
+        assert!(dfa.validates(b"a,b\r\nc,d\r\n"));
+        let (_, emits) = walk(&dfa, b"a\r\n");
+        assert!(emits[1].is_control(), "\\r is control");
+        assert!(emits[2].is_record_delimiter());
+        // Inside an enclosure \r is data.
+        let (_, emits) = walk(&dfa, b"\"a\rb\"");
+        assert!(emits[2].is_data());
+    }
+
+    #[test]
+    fn comments_consume_lines_without_records() {
+        let dfa = rfc4180(&CsvDialect {
+            comment: Some(b'#'),
+            ..CsvDialect::default()
+        });
+        let (end, emits) = walk(&dfa, b"# hello, \"world\"\na,b\n");
+        assert_eq!(end, S_EOR);
+        // Nothing in the comment line is a delimiter or data.
+        for e in &emits[..17] {
+            assert!(e.is_control() && !e.is_record_delimiter(), "{e:?}");
+        }
+        assert!(dfa.validates(b"# c\na,b\n"));
+        // '#' mid-record is ordinary data.
+        let (_, emits) = walk(&dfa, b"a#b\n");
+        assert!(emits[1].is_data());
+    }
+
+    #[test]
+    fn recovering_dialect_resynchronises() {
+        let dfa = rfc4180(&CsvDialect {
+            recover_invalid: true,
+            accept_cr: false,
+            ..CsvDialect::default()
+        });
+        // The bad record rejects, but parsing resumes afterwards.
+        let (end, emits) = walk(&dfa, b"\"a\"x,y\nb,c\n");
+        assert_eq!(end, S_EOR);
+        assert!(emits[3].is_reject());
+        // The resynchronising newline still delimits a record.
+        assert!(emits[6].is_record_delimiter() && emits[6].is_reject());
+        // Subsequent good record is clean.
+        assert!(emits[7].is_data() && emits[8].is_field_delimiter());
+    }
+
+    #[test]
+    fn alternative_dialects() {
+        let tsv = rfc4180(&CsvDialect::tsv());
+        assert!(tsv.step(S_FLD, b'\t').emit.is_field_delimiter());
+        assert!(tsv.step(S_FLD, b',').emit.is_data());
+        let psv = rfc4180(&CsvDialect::psv());
+        assert!(psv.step(S_FLD, b'|').emit.is_field_delimiter());
+        let scsv = rfc4180(&CsvDialect::semicolon());
+        assert!(scsv.step(S_FLD, b';').emit.is_field_delimiter());
+        assert!(scsv.step(S_FLD, b',').emit.is_data(), "decimal comma is data");
+    }
+
+    #[test]
+    fn transition_vector_agrees_with_sequential_run() {
+        let dfa = rfc4180_paper();
+        let chunk = b"9,\"Bookcase\"\n19";
+        let v = dfa.transition_vector(chunk);
+        for s in 0..dfa.num_states() {
+            let mut st = s;
+            for &b in chunk.iter() {
+                st = dfa.step(st, b).next;
+            }
+            assert_eq!(v.get(s), st, "starting state {s}");
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! The DFA with symbol-group-major transition tables (paper Table 1).
+//!
+//! The transition table is stored one row per *symbol group*, with the next
+//! state for each of up to 16 current states packed 4 bits apiece into a
+//! `u64`. Reading one symbol therefore fetches a single word holding the
+//! transitions of *all* DFA instances a thread tracks — the CPU analogue of
+//! the coalesced row access the paper designs for. A parallel table of the
+//! same shape stores per-transition [`Emit`] flags, which is what turns a
+//! plain automaton into a parser: every step tells the pipeline whether the
+//! symbol just read delimits a record, delimits a field, is a control
+//! symbol (part of the syntax but not of any field value), or is field
+//! data.
+
+use crate::symbol::SymbolGroups;
+use crate::vector::StateVector;
+use crate::MAX_STATES;
+
+/// Semantic flags attached to a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Emit(u8);
+
+impl Emit {
+    /// The symbol delimits a record (paper: sets the record bitmap).
+    pub const RECORD_DELIM: Emit = Emit(0b0001);
+    /// The symbol delimits a field (paper: sets the field/column bitmap).
+    pub const FIELD_DELIM: Emit = Emit(0b0010);
+    /// The symbol is a control symbol — part of the syntax (quote, escape,
+    /// comment marker) but not part of any field's value.
+    pub const CONTROL: Emit = Emit(0b0100);
+    /// The transition is invalid; the record containing it is rejected.
+    pub const REJECT: Emit = Emit(0b1000);
+    /// Plain field data.
+    pub const DATA: Emit = Emit(0);
+
+    /// Combine flags.
+    pub const fn union(self, other: Emit) -> Emit {
+        Emit(self.0 | other.0)
+    }
+
+    /// Raw 4-bit encoding.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuild from the 4-bit encoding.
+    pub const fn from_bits(bits: u8) -> Emit {
+        Emit(bits & 0xF)
+    }
+
+    /// True when the symbol ends a record.
+    pub const fn is_record_delimiter(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// True when the symbol ends a field (record delimiters end the
+    /// record's last field too, but carry only the record flag; the
+    /// pipeline treats them as both).
+    pub const fn is_field_delimiter(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// True when the symbol is syntax rather than data.
+    pub const fn is_control(self) -> bool {
+        self.0 & 0b0111 != 0
+    }
+
+    /// True when the transition is invalid.
+    pub const fn is_reject(self) -> bool {
+        self.0 & 8 != 0
+    }
+
+    /// True when the symbol belongs to a field's value.
+    pub const fn is_data(self) -> bool {
+        self.0 & 0b0111 == 0
+    }
+}
+
+impl std::ops::BitOr for Emit {
+    type Output = Emit;
+    fn bitor(self, rhs: Emit) -> Emit {
+        self.union(rhs)
+    }
+}
+
+/// The result of one DFA step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// The state after consuming the symbol.
+    pub next: u8,
+    /// What the symbol meant in the state it was read in.
+    pub emit: Emit,
+}
+
+/// A deterministic finite automaton with parsing emissions.
+///
+/// Construct via [`crate::DfaBuilder`] or one of the format modules
+/// ([`crate::csv`], [`crate::log`]).
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    pub(crate) num_states: u8,
+    pub(crate) start: u8,
+    pub(crate) accepting: u16,
+    pub(crate) names: Vec<String>,
+    pub(crate) groups: SymbolGroups,
+    /// Per-group packed next-state rows, 4 bits per current state.
+    pub(crate) trans_rows: Vec<u64>,
+    /// Per-group packed emit flags, 4 bits per current state.
+    pub(crate) emit_rows: Vec<u64>,
+}
+
+impl Dfa {
+    /// Number of states.
+    pub fn num_states(&self) -> u8 {
+        self.num_states
+    }
+
+    /// The sequential start state.
+    pub fn start_state(&self) -> u8 {
+        self.start
+    }
+
+    /// Whether `state` is accepting (a valid place for the input to end).
+    pub fn is_accepting(&self, state: u8) -> bool {
+        self.accepting >> state & 1 == 1
+    }
+
+    /// Human-readable state name (e.g. `EOR`, `ENC`).
+    pub fn state_name(&self, state: u8) -> &str {
+        &self.names[state as usize]
+    }
+
+    /// The symbol-group mapping.
+    pub fn symbol_groups(&self) -> &SymbolGroups {
+        &self.groups
+    }
+
+    /// Map a byte to its symbol group.
+    #[inline(always)]
+    pub fn group_of(&self, byte: u8) -> u8 {
+        self.groups.group_of(byte)
+    }
+
+    /// Packed next-state row for a symbol group — the coalesced row fetch
+    /// of the paper's Table 1 layout.
+    #[inline(always)]
+    pub fn transition_row(&self, group: u8) -> u64 {
+        self.trans_rows[group as usize]
+    }
+
+    /// Packed emission row for a symbol group.
+    #[inline(always)]
+    pub fn emit_row(&self, group: u8) -> u64 {
+        self.emit_rows[group as usize]
+    }
+
+    /// Next state from `state` on the packed `row`.
+    #[inline(always)]
+    pub fn next_in_row(row: u64, state: u8) -> u8 {
+        ((row >> (4 * state)) & 0xF) as u8
+    }
+
+    /// Emission for `state` on the packed emit `row`.
+    #[inline(always)]
+    pub fn emit_in_row(row: u64, state: u8) -> Emit {
+        Emit::from_bits(((row >> (4 * state)) & 0xF) as u8)
+    }
+
+    /// Consume one byte from `state`.
+    #[inline(always)]
+    pub fn step(&self, state: u8, byte: u8) -> Step {
+        let g = self.group_of(byte) as usize;
+        Step {
+            next: Self::next_in_row(self.trans_rows[g], state),
+            emit: Self::emit_in_row(self.emit_rows[g], state),
+        }
+    }
+
+    /// Simulate one DFA instance per starting state over `chunk`,
+    /// returning the chunk's state-transition vector (paper §3.1, Fig. 3).
+    pub fn transition_vector(&self, chunk: &[u8]) -> StateVector {
+        let mut v = StateVector::identity(self.num_states);
+        for &b in chunk {
+            let row = self.trans_rows[self.group_of(b) as usize];
+            v.step_all(row);
+        }
+        v
+    }
+
+    /// Run the automaton sequentially over `input` from the start state,
+    /// returning the final state. Used for whole-input validation and by
+    /// the sequential baselines.
+    pub fn final_state(&self, input: &[u8]) -> u8 {
+        let mut s = self.start;
+        for &b in input {
+            s = Self::next_in_row(self.trans_rows[self.group_of(b) as usize], s);
+        }
+        s
+    }
+
+    /// Validate that `input` is accepted: the run ends in an accepting
+    /// state and never takes a rejecting transition.
+    pub fn validates(&self, input: &[u8]) -> bool {
+        let mut s = self.start;
+        for &b in input {
+            let g = self.group_of(b) as usize;
+            if Self::emit_in_row(self.emit_rows[g], s).is_reject() {
+                return false;
+            }
+            s = Self::next_in_row(self.trans_rows[g], s);
+        }
+        self.is_accepting(s)
+    }
+
+    /// Render the transition table in the paper's Table 1 layout (one row
+    /// per symbol group), for documentation and debugging.
+    pub fn table_string(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = write!(out, "{:>8} |", "");
+        for s in 0..self.num_states {
+            let _ = write!(out, " {:>4}", self.state_name(s));
+        }
+        let _ = writeln!(out);
+        let catch_all = self.groups.catch_all();
+        for g in 0..self.groups.num_groups() {
+            let label: String = if g == catch_all {
+                "*".to_string()
+            } else {
+                self.groups
+                    .symbols()
+                    .iter()
+                    .filter(|&&(_, sg)| sg == g)
+                    .map(|&(b, _)| printable(b))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            let _ = write!(out, "{label:>8} |");
+            let row = self.trans_rows[g as usize];
+            for s in 0..self.num_states {
+                let _ = write!(out, " {:>4}", self.state_name(Self::next_in_row(row, s)));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+fn printable(b: u8) -> String {
+    match b {
+        b'\n' => "\\n".into(),
+        b'\r' => "\\r".into(),
+        b'\t' => "\\t".into(),
+        b if b.is_ascii_graphic() || b == b' ' => (b as char).to_string(),
+        b => format!("0x{b:02X}"),
+    }
+}
+
+/// Compile-time-ish sanity: states must fit the 4-bit packing.
+pub(crate) fn assert_state_count(n: usize) {
+    assert!(
+        n >= 1 && n <= MAX_STATES,
+        "DFA must have between 1 and {MAX_STATES} states, got {n}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_flag_algebra() {
+        let e = Emit::RECORD_DELIM | Emit::CONTROL;
+        assert!(e.is_record_delimiter());
+        assert!(e.is_control());
+        assert!(!e.is_field_delimiter());
+        assert!(!e.is_data());
+        assert!(Emit::DATA.is_data());
+        assert!(!Emit::DATA.is_control());
+        assert!(Emit::REJECT.is_reject());
+        assert_eq!(Emit::from_bits(e.bits()), e);
+    }
+
+    #[test]
+    fn row_packing_roundtrip() {
+        let mut row = 0u64;
+        for s in 0..16u8 {
+            row |= ((15 - s) as u64) << (4 * s);
+        }
+        for s in 0..16u8 {
+            assert_eq!(Dfa::next_in_row(row, s), 15 - s);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! A W3C-extended-log-style automaton.
+//!
+//! The paper motivates ParPaRaw with log formats (Common Log Format,
+//! Extended Log Format) whose parsing rules go beyond what quote-counting
+//! exploits can express: `#` directive lines, space-delimited fields,
+//! double-quoted strings *and* bracket-enclosed timestamps. This module
+//! provides such an automaton, exercising the generality of the DFA
+//! approach (more states, more symbol groups than the CSV case).
+//!
+//! States:
+//!
+//! | index | name  | meaning |
+//! |-------|-------|---------|
+//! | 0     | `EOR` | start of a record |
+//! | 1     | `ENC` | inside a double-quoted string |
+//! | 2     | `FLD` | inside a bare field |
+//! | 3     | `EOF` | just consumed a field delimiter (space) |
+//! | 4     | `ESC` | just closed an enclosure (`"` or `]`) |
+//! | 5     | `BRK` | inside a bracket-enclosed value (`[…]`) |
+//! | 6     | `CMT` | inside a `#` directive line (produces no record) |
+//! | 7     | `INV` | invalid input |
+
+use crate::builder::DfaBuilder;
+use crate::dfa::{Dfa, Emit};
+
+/// State index of `EOR`.
+pub const S_EOR: u8 = 0;
+/// State index of `ENC`.
+pub const S_ENC: u8 = 1;
+/// State index of `FLD`.
+pub const S_FLD: u8 = 2;
+/// State index of `EOF`.
+pub const S_EOF: u8 = 3;
+/// State index of `ESC`.
+pub const S_ESC: u8 = 4;
+/// State index of `BRK`.
+pub const S_BRK: u8 = 5;
+/// State index of `CMT`.
+pub const S_CMT: u8 = 6;
+/// State index of `INV`.
+pub const S_INV: u8 = 7;
+
+/// Build the extended-log automaton: space-delimited fields, newline
+/// records, `"…"` and `[…]` enclosures, `#` directive lines.
+pub fn extended_log() -> Dfa {
+    let mut b = DfaBuilder::new();
+    let eor = b.state("EOR");
+    let enc = b.state("ENC");
+    let fld = b.state("FLD");
+    let eof = b.state("EOF");
+    let esc = b.state("ESC");
+    let brk = b.state("BRK");
+    let cmt = b.state("CMT");
+    let inv = b.state("INV");
+
+    let g_sp = b.group(&[b' ']);
+    let g_nl = b.group(&[b'\n']);
+    let g_q = b.group(&[b'"']);
+    let g_lb = b.group(&[b'[']);
+    let g_rb = b.group(&[b']']);
+    let g_hash = b.group(&[b'#']);
+    let g_cr = b.group(&[b'\r']);
+    let g_any = b.catch_all();
+
+    let rec = Emit::RECORD_DELIM;
+    let fdl = Emit::FIELD_DELIM;
+    let ctl = Emit::CONTROL;
+    let rej = Emit::REJECT | Emit::CONTROL;
+    let data = Emit::DATA;
+
+    // Space: the field delimiter outside enclosures.
+    b.transition(eor, g_sp, eof, fdl)
+        .transition(enc, g_sp, enc, data)
+        .transition(fld, g_sp, eof, fdl)
+        .transition(eof, g_sp, eof, fdl)
+        .transition(esc, g_sp, eof, fdl)
+        .transition(brk, g_sp, brk, data)
+        .transition(cmt, g_sp, cmt, ctl)
+        .transition(inv, g_sp, inv, rej);
+
+    // Newline: record delimiter, except inside enclosures and comments.
+    b.transition(eor, g_nl, eor, rec)
+        .transition(enc, g_nl, enc, data)
+        .transition(fld, g_nl, eor, rec)
+        .transition(eof, g_nl, eor, rec)
+        .transition(esc, g_nl, eor, rec)
+        .transition(brk, g_nl, brk, data)
+        .transition(cmt, g_nl, eor, ctl) // directive lines produce no record
+        .transition(inv, g_nl, inv, rej);
+
+    // Double quote.
+    b.transition(eor, g_q, enc, ctl)
+        .transition(enc, g_q, esc, ctl)
+        .transition(fld, g_q, fld, data) // mid-field quote is data in logs
+        .transition(eof, g_q, enc, ctl)
+        .transition(esc, g_q, inv, rej)
+        .transition(brk, g_q, brk, data)
+        .transition(cmt, g_q, cmt, ctl)
+        .transition(inv, g_q, inv, rej);
+
+    // Opening bracket.
+    b.transition(eor, g_lb, brk, ctl)
+        .transition(enc, g_lb, enc, data)
+        .transition(fld, g_lb, fld, data)
+        .transition(eof, g_lb, brk, ctl)
+        .transition(esc, g_lb, inv, rej)
+        .transition(brk, g_lb, brk, data)
+        .transition(cmt, g_lb, cmt, ctl)
+        .transition(inv, g_lb, inv, rej);
+
+    // Closing bracket.
+    b.transition(eor, g_rb, fld, data)
+        .transition(enc, g_rb, enc, data)
+        .transition(fld, g_rb, fld, data)
+        .transition(eof, g_rb, fld, data)
+        .transition(esc, g_rb, inv, rej)
+        .transition(brk, g_rb, esc, ctl)
+        .transition(cmt, g_rb, cmt, ctl)
+        .transition(inv, g_rb, inv, rej);
+
+    // Hash: a directive, but only at the start of a record.
+    b.transition(eor, g_hash, cmt, ctl)
+        .transition(enc, g_hash, enc, data)
+        .transition(fld, g_hash, fld, data)
+        .transition(eof, g_hash, fld, data)
+        .transition(esc, g_hash, inv, rej)
+        .transition(brk, g_hash, brk, data)
+        .transition(cmt, g_hash, cmt, ctl)
+        .transition(inv, g_hash, inv, rej);
+
+    // Carriage return: tolerated before newlines, data inside enclosures.
+    b.transition(eor, g_cr, eor, ctl)
+        .transition(enc, g_cr, enc, data)
+        .transition(fld, g_cr, fld, ctl)
+        .transition(eof, g_cr, eof, ctl)
+        .transition(esc, g_cr, esc, ctl)
+        .transition(brk, g_cr, brk, data)
+        .transition(cmt, g_cr, cmt, ctl)
+        .transition(inv, g_cr, inv, rej);
+
+    // Everything else is field data.
+    b.transition(eor, g_any, fld, data)
+        .transition(enc, g_any, enc, data)
+        .transition(fld, g_any, fld, data)
+        .transition(eof, g_any, fld, data)
+        .transition(esc, g_any, inv, rej)
+        .transition(brk, g_any, brk, data)
+        .transition(cmt, g_any, cmt, ctl)
+        .transition(inv, g_any, inv, rej);
+
+    b.start(eor);
+    b.accepting(&[eor, fld, eof, esc, cmt]);
+    b.build().expect("extended-log automaton is complete by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk(dfa: &Dfa, input: &[u8]) -> (u8, Vec<Emit>) {
+        let mut s = dfa.start_state();
+        let mut emits = Vec::new();
+        for &b in input {
+            let st = dfa.step(s, b);
+            emits.push(st.emit);
+            s = st.next;
+        }
+        (s, emits)
+    }
+
+    #[test]
+    fn parses_a_common_log_line() {
+        let dfa = extended_log();
+        let line = b"10.0.0.1 alice [10/Oct/2000:13:55:36] \"GET /a b\" 200\n";
+        assert!(dfa.validates(line));
+        let (_, emits) = walk(&dfa, line);
+        // Space inside brackets and quotes is data, outside is a delimiter.
+        let sp_positions: Vec<usize> = line
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b' ')
+            .map(|(i, _)| i)
+            .collect();
+        assert!(emits[sp_positions[0]].is_field_delimiter()); // after ip
+        let quoted_space = line.iter().position(|&b| b == b'/').unwrap() + 2;
+        let _ = quoted_space;
+        // The space inside "GET /a b" must be data.
+        let q_open = line.iter().position(|&b| b == b'"').unwrap();
+        let inner_space = line[q_open..].iter().position(|&b| b == b' ').unwrap() + q_open;
+        assert!(emits[inner_space].is_data());
+    }
+
+    #[test]
+    fn directive_lines_produce_no_record() {
+        let dfa = extended_log();
+        let input = b"#Version: 1.0\na b\n";
+        let (_, emits) = walk(&dfa, input);
+        let nl1 = input.iter().position(|&b| b == b'\n').unwrap();
+        assert!(!emits[nl1].is_record_delimiter(), "directive newline");
+        assert!(emits.last().unwrap().is_record_delimiter());
+    }
+
+    #[test]
+    fn bracket_enclosure_protects_spaces() {
+        let dfa = extended_log();
+        let (_, emits) = walk(&dfa, b"[a b] c\n");
+        assert!(emits[0].is_control()); // [
+        assert!(emits[2].is_data()); // enclosed space
+        assert!(emits[4].is_control()); // ]
+        assert!(emits[5].is_field_delimiter()); // outer space
+    }
+
+    #[test]
+    fn garbage_after_enclosure_rejects() {
+        let dfa = extended_log();
+        assert!(!dfa.validates(b"\"abc\"def\n"));
+        assert!(!dfa.validates(b"[abc]def\n"));
+        assert!(dfa.validates(b"\"abc\" def\n"));
+    }
+}

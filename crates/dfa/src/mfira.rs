@@ -1,0 +1,227 @@
+//! The multi-fragment in-register array (MFIRA) of paper §4.5.
+//!
+//! GPU threads cannot dynamically index into the register file, yet the
+//! algorithm needs small dynamically-indexed arrays (the state-transition
+//! vector, the packed transition-table row). MFIRA works around this by
+//! noting that *bits within* a register can be addressed dynamically via
+//! bit-field extract/insert (`BFE`/`BFI`). An item of `b` bits is split
+//! into fragments; fragment `j` of item `i` lives in register `j` at bit
+//! offset `i·k`, where the fragment width `k` is rounded down to a power of
+//! two so offsets are computed with shifts instead of multiplies
+//! (paper Figure 8).
+//!
+//! On a CPU the same layout is an ordinary bit-packed array; we keep the
+//! paper's exact parameter derivation (`a = ⌊32/c⌋`, `k = 2^⌊log₂ a⌋`,
+//! `⌈b/k⌉` fragments) so that the figure's worked example is reproduced
+//! bit for bit.
+
+/// Bit-field extract: `len` bits of `reg` starting at `off`.
+#[inline(always)]
+pub fn bfe(reg: u32, off: u32, len: u32) -> u32 {
+    debug_assert!(len <= 32);
+    if len == 32 {
+        reg >> off
+    } else {
+        (reg >> off) & ((1u32 << len) - 1)
+    }
+}
+
+/// Bit-field insert: write the low `len` bits of `val` into `reg` at `off`.
+#[inline(always)]
+pub fn bfi(reg: u32, val: u32, off: u32, len: u32) -> u32 {
+    debug_assert!(len <= 32);
+    let mask = if len == 32 { u32::MAX } else { (1u32 << len) - 1 } << off;
+    (reg & !mask) | ((val << off) & mask)
+}
+
+/// A bounded array of `capacity` items of `bits_per_item` bits each,
+/// fragmented across 32-bit registers exactly as in paper Figure 8.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mfira {
+    regs: Vec<u32>,
+    capacity: u32,
+    bits_per_item: u32,
+    /// Bits per fragment, a power of two (the paper's `k`).
+    frag_bits: u32,
+    /// Number of fragments per item (the paper's `⌈b/k⌉`).
+    fragments: u32,
+}
+
+impl Mfira {
+    /// Create an array for `capacity` items of `bits_per_item` bits, all
+    /// initialised to zero.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0 or exceeds 32 (at least one bit per item
+    /// per register is required), or if `bits_per_item` is 0 or exceeds 32.
+    pub fn new(capacity: u32, bits_per_item: u32) -> Self {
+        assert!(capacity >= 1 && capacity <= 32, "capacity must be in 1..=32");
+        assert!(
+            bits_per_item >= 1 && bits_per_item <= 32,
+            "bits_per_item must be in 1..=32"
+        );
+        // Paper Figure 8: a = floor(32 / c) available bits per fragment,
+        // k = 2^floor(log2(a)) bits actually used per fragment.
+        let a = 32 / capacity;
+        assert!(a >= 1, "too many items per register");
+        let frag_bits = 1u32 << (31 - a.leading_zeros()); // 2^floor(log2 a)
+        let fragments = bits_per_item.div_ceil(frag_bits);
+        Mfira {
+            regs: vec![0u32; fragments as usize],
+            capacity,
+            bits_per_item,
+            frag_bits,
+            fragments,
+        }
+    }
+
+    /// Number of items the array can hold.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Bits per item.
+    pub fn bits_per_item(&self) -> u32 {
+        self.bits_per_item
+    }
+
+    /// The derived fragment width `k` (a power of two).
+    pub fn fragment_bits(&self) -> u32 {
+        self.frag_bits
+    }
+
+    /// Number of fragments (registers) per item.
+    pub fn fragments(&self) -> u32 {
+        self.fragments
+    }
+
+    /// The backing registers (one per fragment).
+    pub fn registers(&self) -> &[u32] {
+        &self.regs
+    }
+
+    /// Read item `i`, reassembling it from its fragments.
+    #[inline]
+    pub fn get(&self, i: u32) -> u32 {
+        debug_assert!(i < self.capacity);
+        let off = i << self.frag_bits.trailing_zeros(); // i * k via shift
+        let mut out = 0u32;
+        let mut remaining = self.bits_per_item;
+        for (j, &reg) in self.regs.iter().enumerate() {
+            let take = remaining.min(self.frag_bits);
+            let frag = bfe(reg, off, take);
+            out |= frag << (j as u32 * self.frag_bits);
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Write item `i`, distributing its fragments across the registers.
+    /// Bits of `value` beyond `bits_per_item` are ignored.
+    #[inline]
+    pub fn set(&mut self, i: u32, value: u32) {
+        debug_assert!(i < self.capacity);
+        let off = i << self.frag_bits.trailing_zeros();
+        let mut remaining = self.bits_per_item;
+        for (j, reg) in self.regs.iter_mut().enumerate() {
+            let take = remaining.min(self.frag_bits);
+            let frag = bfe(value, j as u32 * self.frag_bits, take);
+            *reg = bfi(*reg, frag, off, take);
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn figure8_parameters() {
+        // Paper Figure 8: c = 10 items of b = 5 bits: a = 3 available bits,
+        // k = 2 bits per fragment, 3 fragments.
+        let arr = Mfira::new(10, 5);
+        assert_eq!(arr.fragment_bits(), 2);
+        assert_eq!(arr.fragments(), 3);
+        assert_eq!(arr.registers().len(), 3);
+    }
+
+    #[test]
+    fn figure8_worked_values() {
+        // The figure stores v = [5, 7, 31, 20, 10, 0, 26, 3, 15, 16].
+        let values = [5u32, 7, 31, 20, 10, 0, 26, 3, 15, 16];
+        let mut arr = Mfira::new(10, 5);
+        for (i, &v) in values.iter().enumerate() {
+            arr.set(i as u32, v);
+        }
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(arr.get(i as u32), v, "item {i}");
+        }
+        // Check the physical layout of register 0 (the low fragments):
+        // item i contributes its two low bits at offset 2i.
+        let mut want_r0 = 0u32;
+        for (i, &v) in values.iter().enumerate() {
+            want_r0 |= (v & 0b11) << (2 * i);
+        }
+        assert_eq!(arr.registers()[0], want_r0);
+    }
+
+    #[test]
+    fn single_fragment_case() {
+        // 6 items of 4 bits: a = 5, k = 4, one fragment — the layout used
+        // for the state-transition vector of the six-state CSV DFA.
+        let arr = Mfira::new(6, 4);
+        assert_eq!(arr.fragment_bits(), 4);
+        assert_eq!(arr.fragments(), 1);
+    }
+
+    #[test]
+    fn value_wider_than_item_is_masked() {
+        let mut arr = Mfira::new(4, 3);
+        arr.set(2, 0xFF);
+        assert_eq!(arr.get(2), 0b111);
+        assert_eq!(arr.get(1), 0);
+    }
+
+    #[test]
+    fn bfe_bfi_roundtrip() {
+        let r = bfi(0, 0b1011, 7, 4);
+        assert_eq!(bfe(r, 7, 4), 0b1011);
+        assert_eq!(bfe(r, 0, 7), 0);
+        let r2 = bfi(r, 0b01, 7, 2);
+        assert_eq!(bfe(r2, 7, 4), 0b1001);
+        // Full-width operations don't overflow the shift.
+        assert_eq!(bfe(u32::MAX, 0, 32), u32::MAX);
+        assert_eq!(bfi(0, u32::MAX, 0, 32), u32::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_vec_model(
+            capacity in 1u32..=32,
+            ops in proptest::collection::vec((0u32..32, any::<u32>()), 1..80),
+        ) {
+            // bits_per_item constrained so capacity*... any b in 1..=32 works
+            // because fragments spill to more registers.
+            let bits = 1 + (ops.len() as u32 % 16);
+            let mut arr = Mfira::new(capacity, bits);
+            let mut model = vec![0u32; capacity as usize];
+            let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+            for (i, v) in ops {
+                let i = i % capacity;
+                arr.set(i, v);
+                model[i as usize] = v & mask;
+                for (j, &m) in model.iter().enumerate() {
+                    prop_assert_eq!(arr.get(j as u32), m);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Branchless symbol matching using SWAR (SIMD within a register).
+//!
+//! Paper §4.5, Table 2: the symbols to match are packed into the bytes of
+//! 32-bit *lookup registers* (LU-registers). A read symbol is replicated
+//! into every byte of an `s`-register; `LU XOR s` yields a null byte at
+//! matching positions; Mycroft's null-byte trick
+//! `H(x) = ((x - 0x01010101) & ~x & 0x80808080)` sets the most significant
+//! bit of such bytes; `bfind` (find most-significant set bit) and a shift
+//! by three recover the byte index; registers without a match contribute
+//! `0x1FFFFFFF`; the global minimum over all registers, clamped with a
+//! final `min`, yields the match index or the catch-all.
+//!
+//! One practical subtlety the paper glosses over: Mycroft's trick can flag
+//! a byte holding `0x01` *directly above* a chain of null bytes (a borrow
+//! ripple). Because `bfind` takes the most significant flagged bit, such a
+//! false positive could shadow a true match below it. The
+//! [`SwarMatcher`] constructor therefore validates each packed register
+//! against all 256 possible input bytes and permutes or spills symbols
+//! until the packing is conflict-free, so the branchless match is exact for
+//! arbitrary symbol sets.
+
+/// Mycroft's null-byte detector: MSB set in every byte of `x` that is zero
+/// (plus, possibly, borrow-ripple false positives handled at pack time).
+#[inline(always)]
+pub fn h(x: u32) -> u32 {
+    x.wrapping_sub(0x0101_0101) & !x & 0x8080_8080
+}
+
+/// The CUDA `bfind` intrinsic: position of the most significant set bit,
+/// or `0xFFFF_FFFF` when no bit is set.
+#[inline(always)]
+pub fn bfind(x: u32) -> u32 {
+    if x == 0 {
+        0xFFFF_FFFF
+    } else {
+        31 - x.leading_zeros()
+    }
+}
+
+/// A branchless byte → symbol-group matcher built from LU-registers.
+#[derive(Debug, Clone)]
+pub struct SwarMatcher {
+    /// Lookup registers, four symbol bytes each.
+    regs: Vec<u32>,
+    /// Symbol group of every byte position (4 per register).
+    pos_groups: Vec<u8>,
+    /// Group returned when no position matches.
+    catch_all: u8,
+}
+
+impl SwarMatcher {
+    /// Pack `(byte, group)` symbols into LU-registers.
+    ///
+    /// Duplicate bytes are collapsed (last group wins, matching
+    /// [`crate::SymbolGroups::new`]). Unused positions in a register are
+    /// padded with a copy of the register's first symbol so matches at
+    /// padded positions stay in the right group.
+    pub fn new(symbols: &[(u8, u8)], catch_all: u8) -> Self {
+        // Deduplicate, last entry wins.
+        let mut dedup: Vec<(u8, u8)> = Vec::new();
+        for &(b, g) in symbols {
+            if let Some(slot) = dedup.iter_mut().find(|(db, _)| *db == b) {
+                slot.1 = g;
+            } else {
+                dedup.push((b, g));
+            }
+        }
+
+        let mut regs: Vec<[Option<(u8, u8)>; 4]> = Vec::new();
+        for sym in dedup {
+            place_symbol(&mut regs, sym);
+        }
+
+        let mut packed = Vec::with_capacity(regs.len());
+        let mut pos_groups = Vec::with_capacity(regs.len() * 4);
+        for reg in &regs {
+            let first = reg[0].expect("register always has a first symbol");
+            let mut word = 0u32;
+            for (i, slot) in reg.iter().enumerate() {
+                let (byte, group) = slot.unwrap_or(first);
+                word |= u32::from(byte) << (8 * i);
+                pos_groups.push(group);
+            }
+            packed.push(word);
+        }
+
+        SwarMatcher {
+            regs: packed,
+            pos_groups,
+            catch_all,
+        }
+    }
+
+    /// The raw packed LU-registers.
+    pub fn registers(&self) -> &[u32] {
+        &self.regs
+    }
+
+    /// Match index of `byte` across all registers (`position` in the packed
+    /// layout), or `>= positions` when nothing matched — the paper's
+    /// `min(idx, …)` clamp.
+    #[inline]
+    pub fn match_index(&self, byte: u8) -> u32 {
+        let s = u32::from(byte) * 0x0101_0101; // replicate into every byte
+        let mut idx = u32::MAX;
+        for (r, &lu) in self.regs.iter().enumerate() {
+            let c = lu ^ s;
+            let swar = h(c);
+            let local = bfind(swar) >> 3; // byte index or 0x1FFFFFFF
+            let cand = if local == 0x1FFF_FFFF {
+                local
+            } else {
+                local + (r as u32) * 4
+            };
+            idx = idx.min(cand);
+        }
+        idx.min(self.pos_groups.len() as u32)
+    }
+
+    /// Symbol group of `byte`.
+    #[inline]
+    pub fn group_of(&self, byte: u8) -> u8 {
+        let idx = self.match_index(byte) as usize;
+        if idx >= self.pos_groups.len() {
+            self.catch_all
+        } else {
+            self.pos_groups[idx]
+        }
+    }
+}
+
+/// Place one symbol into the register set, keeping every register exact
+/// under the MSB-first match. Tries appending to the last open register
+/// (under every permutation of its occupants); spills to a fresh register
+/// when no permutation validates.
+fn place_symbol(regs: &mut Vec<[Option<(u8, u8)>; 4]>, sym: (u8, u8)) {
+    if let Some(last) = regs.last_mut() {
+        if let Some(free) = last.iter().position(|s| s.is_none()) {
+            let mut occupants: Vec<(u8, u8)> = last.iter().flatten().copied().collect();
+            occupants.push(sym);
+            if let Some(valid) = find_valid_order(&occupants) {
+                let mut new_reg = [None; 4];
+                for (i, s) in valid.into_iter().enumerate() {
+                    new_reg[i] = Some(s);
+                }
+                *last = new_reg;
+                return;
+            }
+            // No valid permutation with this symbol added; leave the
+            // register as-is and spill below.
+            let _ = free;
+        }
+    }
+    regs.push([Some(sym), None, None, None]);
+}
+
+/// Search the permutations of up to four symbols for an ordering whose
+/// packed register matches exactly (MSB-first) for all 256 input bytes.
+fn find_valid_order(symbols: &[(u8, u8)]) -> Option<Vec<(u8, u8)>> {
+    let mut perm: Vec<usize> = (0..symbols.len()).collect();
+    loop {
+        let order: Vec<(u8, u8)> = perm.iter().map(|&i| symbols[i]).collect();
+        if register_is_exact(&order) {
+            return Some(order);
+        }
+        if !next_permutation(&mut perm) {
+            return None;
+        }
+    }
+}
+
+fn register_is_exact(order: &[(u8, u8)]) -> bool {
+    let first = order[0];
+    let mut word = 0u32;
+    let mut bytes = [first.0; 4];
+    for (i, &(b, _)) in order.iter().enumerate() {
+        bytes[i] = b;
+    }
+    for (i, &b) in bytes.iter().enumerate() {
+        word |= u32::from(b) << (8 * i);
+    }
+    let group_at = |i: usize| {
+        order
+            .get(i)
+            .map(|&(_, g)| g)
+            .unwrap_or(first.1)
+    };
+    for s in 0u16..=255 {
+        let s = s as u8;
+        let truth = order.iter().rev().find(|&&(b, _)| b == s).map(|&(_, g)| g);
+        let c = word ^ (u32::from(s) * 0x0101_0101);
+        let local = bfind(h(c)) >> 3;
+        let got = if local == 0x1FFF_FFFF {
+            None
+        } else {
+            Some(group_at(local as usize))
+        };
+        if got != truth {
+            return false;
+        }
+    }
+    true
+}
+
+fn next_permutation(perm: &mut [usize]) -> bool {
+    let n = perm.len();
+    if n < 2 {
+        return false;
+    }
+    let mut i = n - 1;
+    while i > 0 && perm[i - 1] >= perm[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = n - 1;
+    while perm[j] <= perm[i - 1] {
+        j -= 1;
+    }
+    perm.swap(i - 1, j);
+    perm[i..].reverse();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table2_worked_example() {
+        // Paper Table 2: symbols \n " , | \t with groups 0 1 2 2 2 and a
+        // catch-all group of 3; the read symbol ',' must land in group 2
+        // with match index 2 in the first register.
+        let symbols = [
+            (b'\n', 0u8),
+            (b'"', 1),
+            (b',', 2),
+            (b'|', 2),
+            (b'\t', 2),
+        ];
+        let m = SwarMatcher::new(&symbols, 3);
+        assert_eq!(m.group_of(b','), 2);
+        assert_eq!(m.group_of(b'\n'), 0);
+        assert_eq!(m.group_of(b'"'), 1);
+        assert_eq!(m.group_of(b'|'), 2);
+        assert_eq!(m.group_of(b'\t'), 2);
+        assert_eq!(m.group_of(b'x'), 3); // catch-all
+
+        // The intermediate values of the worked example, first register
+        // packed in paper order \n " , |.
+        let lu = u32::from_le_bytes([b'\n', b'"', b',', b'|']);
+        let c = lu ^ (u32::from(b',') * 0x0101_0101);
+        assert_eq!(c.to_le_bytes(), [0x26, 0x0E, 0x00, 0x50]);
+        let swar = h(c);
+        assert_eq!(swar, 0x0080_0000); // MSB of byte 2
+        assert_eq!(bfind(swar) >> 3, 2);
+    }
+
+    #[test]
+    fn bfind_matches_cuda_semantics() {
+        assert_eq!(bfind(0), 0xFFFF_FFFF);
+        assert_eq!(bfind(1), 0);
+        assert_eq!(bfind(0x8000_0000), 31);
+        assert_eq!(bfind(0x0080_0000), 23);
+    }
+
+    #[test]
+    fn h_flags_zero_bytes() {
+        assert_eq!(h(0x0011_2233) & 0x8000_0000, 0x8000_0000);
+        assert_eq!(h(0x1122_3344), 0);
+        assert_eq!(h(0), 0x8080_8080);
+    }
+
+    #[test]
+    fn adjacent_xor_one_symbols_still_match() {
+        // ',' = 0x2C and '-' = 0x2D differ by one bit — the borrow-ripple
+        // hazard for Mycroft's trick. The packer must keep this exact.
+        let symbols = [(b',', 0u8), (b'-', 1), (b'.', 2)];
+        let m = SwarMatcher::new(&symbols, 3);
+        assert_eq!(m.group_of(b','), 0);
+        assert_eq!(m.group_of(b'-'), 1);
+        assert_eq!(m.group_of(b'.'), 2);
+        assert_eq!(m.group_of(b'/'), 3);
+    }
+
+    #[test]
+    fn many_symbols_spill_to_multiple_registers() {
+        let symbols: Vec<(u8, u8)> = (0..10).map(|i| (b'a' + i, i)).collect();
+        let m = SwarMatcher::new(&symbols, 10);
+        assert!(m.registers().len() >= 3);
+        for (b, g) in &symbols {
+            assert_eq!(m.group_of(*b), *g);
+        }
+        assert_eq!(m.group_of(b'z'), 10);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_truth_for_all_bytes(
+            symbols in proptest::collection::vec((any::<u8>(), 0u8..7), 0..12),
+            catch_all in 7u8..9,
+        ) {
+            let m = SwarMatcher::new(&symbols, catch_all);
+            // Ground truth: last entry for a byte wins, else catch-all.
+            for b in 0u16..=255 {
+                let b = b as u8;
+                let want = symbols.iter().rev().find(|&&(sb, _)| sb == b)
+                    .map(|&(_, g)| g).unwrap_or(catch_all);
+                prop_assert_eq!(m.group_of(b), want, "byte {}", b);
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Byte → symbol-group mapping.
+//!
+//! Delimiter-separated formats distinguish only a handful of symbols —
+//! delimiters, quotes, escapes — with everything else falling into a
+//! catch-all group (paper §4.5). [`SymbolGroups`] stores that mapping and
+//! offers two matchers: a 256-entry lookup table (the natural CPU shape)
+//! and the paper's branchless SWAR matcher (see [`crate::swar`]), kept
+//! equivalent by tests.
+
+/// The mapping from input bytes to symbol groups.
+///
+/// Groups are numbered `0..num_groups`; the catch-all group (the paper's
+/// `*` row in Table 1) is always the *last* group, matching the paper's
+/// convention of clamping the SWAR match index with `min(idx, catch_all)`.
+#[derive(Debug, Clone)]
+pub struct SymbolGroups {
+    /// Explicit (byte, group) pairs, insertion-ordered.
+    symbols: Vec<(u8, u8)>,
+    /// Index of the catch-all group.
+    catch_all: u8,
+    /// Precomputed byte → group table.
+    lut: Box<[u8; 256]>,
+}
+
+impl SymbolGroups {
+    /// Build from explicit `(byte, group)` pairs plus the catch-all group
+    /// index. Group indexes must be dense: every group in
+    /// `0..=catch_all` must either appear in `symbols` or be the catch-all.
+    pub fn new(symbols: Vec<(u8, u8)>, catch_all: u8) -> Self {
+        let mut lut = Box::new([catch_all; 256]);
+        for &(byte, group) in &symbols {
+            lut[byte as usize] = group;
+        }
+        SymbolGroups {
+            symbols,
+            catch_all,
+            lut,
+        }
+    }
+
+    /// Number of symbol groups including the catch-all.
+    pub fn num_groups(&self) -> u8 {
+        self.catch_all + 1
+    }
+
+    /// The catch-all group index.
+    pub fn catch_all(&self) -> u8 {
+        self.catch_all
+    }
+
+    /// The explicit `(byte, group)` pairs.
+    pub fn symbols(&self) -> &[(u8, u8)] {
+        &self.symbols
+    }
+
+    /// Map a byte to its symbol group via the lookup table.
+    #[inline(always)]
+    pub fn group_of(&self, byte: u8) -> u8 {
+        self.lut[byte as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_explicit_and_catch_all() {
+        let g = SymbolGroups::new(vec![(b'\n', 0), (b'"', 1), (b',', 2)], 3);
+        assert_eq!(g.group_of(b'\n'), 0);
+        assert_eq!(g.group_of(b'"'), 1);
+        assert_eq!(g.group_of(b','), 2);
+        assert_eq!(g.group_of(b'x'), 3);
+        assert_eq!(g.group_of(0xFF), 3);
+        assert_eq!(g.num_groups(), 4);
+    }
+
+    #[test]
+    fn later_entries_override() {
+        let g = SymbolGroups::new(vec![(b'a', 0), (b'a', 1)], 2);
+        assert_eq!(g.group_of(b'a'), 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! State-transition vectors and their composite operator (paper §3.1).
+//!
+//! A chunk's state-transition vector records, for every possible starting
+//! state `sᵢ`, the state the DFA ends in after reading the chunk. The
+//! composite of two vectors `a ∘ b` is `(b[a₀], b[a₁], …)`: first traverse
+//! chunk `a`, then chunk `b`. The operator is associative (function
+//! composition) but *not* commutative, and an exclusive scan over it
+//! recovers every chunk's true starting state.
+//!
+//! With at most [`crate::MAX_STATES`] = 16 states, a vector packs into a
+//! single `u64` at 4 bits per entry — the single-register fast path of the
+//! MFIRA layout (§4.5) — so the scan moves plain integers around.
+
+use crate::MAX_STATES;
+use parparaw_parallel::scan::ScanOp;
+
+/// A state-transition vector for a DFA with `num_states ≤ 16` states,
+/// packed 4 bits per entry into a `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StateVector {
+    packed: u64,
+    num_states: u8,
+}
+
+impl StateVector {
+    /// The identity vector `[0, 1, 2, …, n-1]`: a chunk that changes
+    /// nothing (e.g. an empty chunk).
+    pub fn identity(num_states: u8) -> Self {
+        debug_assert!(num_states as usize <= MAX_STATES);
+        let mut packed = 0u64;
+        for s in 0..num_states {
+            packed |= (s as u64) << (4 * s);
+        }
+        StateVector { packed, num_states }
+    }
+
+    /// Build from explicit entries; `entries[i]` is the final state when
+    /// starting in state `i`.
+    pub fn from_entries(entries: &[u8]) -> Self {
+        debug_assert!(entries.len() <= MAX_STATES);
+        let mut packed = 0u64;
+        for (i, &e) in entries.iter().enumerate() {
+            debug_assert!((e as usize) < MAX_STATES);
+            packed |= (e as u64) << (4 * i);
+        }
+        StateVector {
+            packed,
+            num_states: entries.len() as u8,
+        }
+    }
+
+    /// Entry `i`: the final state when starting in state `i`.
+    #[inline(always)]
+    pub fn get(&self, i: u8) -> u8 {
+        debug_assert!(i < self.num_states);
+        ((self.packed >> (4 * i)) & 0xF) as u8
+    }
+
+    /// Set entry `i`.
+    #[inline(always)]
+    pub fn set(&mut self, i: u8, state: u8) {
+        debug_assert!(i < self.num_states && (state as usize) < MAX_STATES);
+        let shift = 4 * i as u64;
+        self.packed = (self.packed & !(0xFu64 << shift)) | ((state as u64) << shift);
+    }
+
+    /// Advance every entry through a packed transition row
+    /// (`row[s]` = next state from `s`, 4 bits each): the inner loop of the
+    /// multi-DFA simulation, one BFE + BFI per tracked instance.
+    #[inline(always)]
+    pub fn step_all(&mut self, row: u64) {
+        let mut packed = self.packed;
+        let mut out = 0u64;
+        for i in 0..self.num_states {
+            let s = packed & 0xF;
+            packed >>= 4;
+            out |= ((row >> (4 * s)) & 0xF) << (4 * i);
+        }
+        self.packed = out;
+    }
+
+    /// The composite `self ∘ other`: traverse `self`'s chunk first, then
+    /// `other`'s. `(a ∘ b)[i] = b[a[i]]`.
+    #[inline]
+    pub fn compose(&self, other: &StateVector) -> StateVector {
+        debug_assert_eq!(self.num_states, other.num_states);
+        let mut out = 0u64;
+        let mut a = self.packed;
+        for i in 0..self.num_states {
+            let ai = a & 0xF;
+            a >>= 4;
+            out |= ((other.packed >> (4 * ai)) & 0xF) << (4 * i);
+        }
+        StateVector {
+            packed: out,
+            num_states: self.num_states,
+        }
+    }
+
+    /// Number of states tracked.
+    pub fn num_states(&self) -> u8 {
+        self.num_states
+    }
+
+    /// Raw packed form.
+    pub fn packed(&self) -> u64 {
+        self.packed
+    }
+
+    /// The entries as a vector of states (for display and tests).
+    pub fn entries(&self) -> Vec<u8> {
+        (0..self.num_states).map(|i| self.get(i)).collect()
+    }
+}
+
+/// The composite operator as a [`ScanOp`], the form consumed by the
+/// parallel exclusive scan that recovers each chunk's starting state.
+#[derive(Debug, Clone, Copy)]
+pub struct VectorComposeOp {
+    num_states: u8,
+}
+
+impl VectorComposeOp {
+    /// Operator for DFAs with `num_states` states.
+    pub fn new(num_states: u8) -> Self {
+        debug_assert!(num_states as usize <= MAX_STATES);
+        VectorComposeOp { num_states }
+    }
+}
+
+impl ScanOp for VectorComposeOp {
+    type Item = StateVector;
+
+    fn identity(&self) -> StateVector {
+        StateVector::identity(self.num_states)
+    }
+
+    fn combine(&self, a: &StateVector, b: &StateVector) -> StateVector {
+        a.compose(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parparaw_parallel::scan::{exclusive_scan_seq, inclusive_scan_seq};
+    use parparaw_parallel::{scan, Grid};
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_composes_neutrally() {
+        let id = StateVector::identity(6);
+        let v = StateVector::from_entries(&[3, 3, 0, 5, 1, 2]);
+        assert_eq!(id.compose(&v), v);
+        assert_eq!(v.compose(&id), v);
+    }
+
+    #[test]
+    fn compose_matches_definition() {
+        let a = StateVector::from_entries(&[1, 2, 0]);
+        let b = StateVector::from_entries(&[2, 2, 1]);
+        // (a ∘ b)[i] = b[a[i]]
+        let c = a.compose(&b);
+        assert_eq!(c.entries(), vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn step_all_is_compose_with_row_vector() {
+        // Stepping all instances through a transition row must equal
+        // composing with the row seen as a vector.
+        let row_entries = [4u8, 0, 3, 3, 1, 5];
+        let mut row = 0u64;
+        for (i, &e) in row_entries.iter().enumerate() {
+            row |= (e as u64) << (4 * i);
+        }
+        let mut v = StateVector::from_entries(&[2, 2, 5, 0, 1, 3]);
+        let expect = v.compose(&StateVector::from_entries(&row_entries));
+        v.step_all(row);
+        assert_eq!(v, expect);
+    }
+
+    proptest! {
+        #[test]
+        fn compose_is_associative(
+            a in proptest::collection::vec(0u8..6, 6),
+            b in proptest::collection::vec(0u8..6, 6),
+            c in proptest::collection::vec(0u8..6, 6),
+        ) {
+            let (a, b, c) = (
+                StateVector::from_entries(&a),
+                StateVector::from_entries(&b),
+                StateVector::from_entries(&c),
+            );
+            prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+        }
+
+        #[test]
+        fn scan_over_vectors_matches_sequential(
+            vs in proptest::collection::vec(proptest::collection::vec(0u8..6, 6), 0..200),
+            workers in 1usize..5,
+        ) {
+            let op = VectorComposeOp::new(6);
+            let items: Vec<StateVector> =
+                vs.iter().map(|v| StateVector::from_entries(v)).collect();
+            let grid = Grid::new(workers);
+            prop_assert_eq!(
+                scan::exclusive_scan(&grid, &items, &op),
+                exclusive_scan_seq(&items, &op)
+            );
+            prop_assert_eq!(
+                scan::inclusive_scan(&grid, &items, &op),
+                inclusive_scan_seq(&items, &op)
+            );
+        }
+
+        #[test]
+        fn scan_recovers_chunk_start_states(
+            vs in proptest::collection::vec(proptest::collection::vec(0u8..6, 6), 1..60),
+            start in 0u8..6,
+        ) {
+            // Simulating "sequentially" through all chunks must agree with
+            // what each chunk reads out of the exclusive-scan result.
+            let op = VectorComposeOp::new(6);
+            let items: Vec<StateVector> =
+                vs.iter().map(|v| StateVector::from_entries(v)).collect();
+            let grid = Grid::new(3);
+            let scanned = scan::exclusive_scan(&grid, &items, &op);
+            let mut state = start;
+            for (i, item) in items.iter().enumerate() {
+                prop_assert_eq!(scanned[i].get(start), state);
+                state = item.get(state);
+            }
+        }
+    }
+}

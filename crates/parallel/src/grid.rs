@@ -1,0 +1,284 @@
+//! Chunk-grid execution: the CPU analogue of a GPU kernel launch.
+//!
+//! ParPaRaw assigns one lightweight GPU thread to every fixed-size chunk of
+//! the input. On the CPU we model the same shape with a [`Grid`]: a job is a
+//! function of a chunk index, and the grid partitions the index space across
+//! a configurable number of OS worker threads. Every parallel primitive in
+//! this crate is built on top of the grid, so the entire pipeline can be run
+//! with any degree of parallelism (including one worker, which executes
+//! fully inline and is what the deterministic tests use).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width pool descriptor for running chunk-indexed jobs.
+///
+/// `Grid` is cheap to copy around; it holds no threads of its own. Worker
+/// threads are spawned per job via `crossbeam::thread::scope`, which lets
+/// jobs borrow from the caller's stack without `'static` bounds — the same
+/// ergonomics a GPU kernel gets by capturing device pointers.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    workers: usize,
+}
+
+impl Grid {
+    /// Create a grid with `workers` OS threads. `workers` is clamped to at
+    /// least 1.
+    pub fn new(workers: usize) -> Self {
+        Grid {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A grid sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Grid::new(n)
+    }
+
+    /// Number of worker threads this grid uses.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Split `n` items into one contiguous range per worker.
+    ///
+    /// All ranges are non-overlapping and cover `0..n`; the first
+    /// `n % workers` ranges are one longer so sizes differ by at most one.
+    pub fn partition(&self, n: usize) -> Vec<Range<usize>> {
+        partition(n, self.workers)
+    }
+
+    /// Run `f(worker_id, range)` once per worker, with statically
+    /// partitioned contiguous ranges. This is the workhorse used by the
+    /// scans and sorts, where each worker owns a contiguous tile.
+    pub fn run_partitioned<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        let parts = self.partition(n);
+        if self.workers == 1 || parts.len() <= 1 {
+            for (w, r) in parts.into_iter().enumerate() {
+                f(w, r);
+            }
+            return;
+        }
+        crossbeam::thread::scope(|s| {
+            for (w, r) in parts.into_iter().enumerate() {
+                let f = &f;
+                s.spawn(move |_| f(w, r));
+            }
+        })
+        .expect("grid worker panicked");
+    }
+
+    /// Run `f(i)` for every `i in 0..n`, dynamically load balanced.
+    ///
+    /// Items are claimed in blocks of `block` from a shared atomic counter,
+    /// which is the right shape when per-item cost is highly skewed (e.g.
+    /// the device-level collaboration path for giant fields).
+    pub fn run_dynamic<F>(&self, n: usize, block: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let block = block.max(1);
+        if self.workers == 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..self.workers {
+                let f = &f;
+                let next = &next;
+                s.spawn(move |_| loop {
+                    let start = next.fetch_add(block, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + block).min(n);
+                    for i in start..end {
+                        f(i);
+                    }
+                });
+            }
+        })
+        .expect("grid worker panicked");
+    }
+
+    /// Map every index `0..n` to a value, returning the results in index
+    /// order. Each slot is written by exactly one worker, so the output is
+    /// deterministic for any worker count.
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send + Default + Clone,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out = vec![T::default(); n];
+        {
+            let slots = SlotWriter::new(&mut out);
+            self.run_partitioned(n, |_, range| {
+                for i in range {
+                    // SAFETY: disjoint ranges per worker; each index is
+                    // written exactly once.
+                    unsafe { slots.write(i, f(i)) };
+                }
+            });
+        }
+        out
+    }
+}
+
+impl Default for Grid {
+    fn default() -> Self {
+        Grid::auto()
+    }
+}
+
+/// Split `n` items into `k` contiguous ranges of near-equal size.
+pub fn partition(n: usize, k: usize) -> Vec<Range<usize>> {
+    let k = k.max(1);
+    let k = k.min(n.max(1));
+    let base = n / k;
+    let rem = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for w in 0..k {
+        let len = base + usize::from(w < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// A shared mutable view of a slice for disjoint-index writes from several
+/// workers.
+///
+/// The grid guarantees each index is handed to exactly one worker, which is
+/// what makes the unsafe write sound. This mirrors how GPU kernels write to
+/// global memory: the launch geometry, not the type system, guarantees
+/// disjointness.
+pub struct SlotWriter<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Sync for SlotWriter<'_, T> {}
+unsafe impl<T: Send> Send for SlotWriter<'_, T> {}
+
+impl<'a, T> SlotWriter<'a, T> {
+    /// Wrap a slice whose slots will each be written by at most one worker.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SlotWriter {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Write `value` into slot `i`, dropping the previous value (slots are
+    /// always created initialised — see the buffer-construction sites).
+    ///
+    /// # Safety
+    /// Callers must ensure `i < len`, that the slot holds a valid `T`,
+    /// that no two workers write the same slot, and that nobody reads the
+    /// slot concurrently.
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for k in [1usize, 2, 3, 8, 13] {
+                let parts = partition(n, k);
+                let mut next = 0;
+                for r in &parts {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                // Sizes differ by at most one.
+                let sizes: Vec<_> = parts.iter().map(|r| r.len()).collect();
+                if let (Some(&mx), Some(&mn)) = (sizes.iter().max(), sizes.iter().min()) {
+                    assert!(mx - mn <= 1, "n={n} k={k} sizes={sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_never_returns_more_ranges_than_items() {
+        assert_eq!(partition(2, 8).len(), 2);
+        assert_eq!(partition(0, 8).len(), 1);
+        assert!(partition(0, 8)[0].is_empty());
+    }
+
+    #[test]
+    fn map_indexed_is_identity_on_index() {
+        for workers in [1, 2, 5] {
+            let grid = Grid::new(workers);
+            let got = grid.map_indexed(100, |i| i * 3);
+            let want: Vec<_> = (0..100).map(|i| i * 3).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn run_dynamic_visits_each_index_once() {
+        use std::sync::atomic::AtomicU32;
+        for workers in [1, 3] {
+            let grid = Grid::new(workers);
+            let hits: Vec<AtomicU32> = (0..257).map(|_| AtomicU32::new(0)).collect();
+            grid.run_dynamic(hits.len(), 16, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn run_partitioned_sees_disjoint_ranges() {
+        let grid = Grid::new(4);
+        let mut seen = vec![false; 1003];
+        {
+            let slots = SlotWriter::new(&mut seen);
+            grid.run_partitioned(1003, |_, range| {
+                for i in range {
+                    unsafe { slots.write(i, true) };
+                }
+            });
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn zero_items_is_fine() {
+        let grid = Grid::new(4);
+        grid.run_partitioned(0, |_, r| assert!(r.is_empty()));
+        let v: Vec<u8> = grid.map_indexed(0, |_| 0u8);
+        assert!(v.is_empty());
+    }
+}

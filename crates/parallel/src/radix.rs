@@ -1,0 +1,199 @@
+//! Stable parallel LSD radix sort.
+//!
+//! Paper §3.3: "ParPaRaw ensures that symbols within a column maintain their
+//! order by using a stable radix sort that uses the symbols' column-tags as
+//! the sort-key. … A single partitioning pass involves (1) computing the
+//! histogram over the number of items that belong to each partition,
+//! (2) computing the exclusive prefix sum over the histogram's counts, and
+//! (3) scattering the items to the respective partition."
+//!
+//! Stability under parallel scatter comes from scanning the per-worker
+//! histograms in *(digit-major, worker-minor)* order: worker `w`'s run of
+//! digit `d` lands directly after worker `w-1`'s run of the same digit, so
+//! items keep their relative input order.
+
+use crate::grid::{Grid, SlotWriter};
+use crate::histogram::local_histograms;
+
+/// Sort `(keys, values)` pairs stably by key using LSD radix passes of
+/// `digit_bits` bits. `max_key` bounds the key domain so only the necessary
+/// passes run (the paper sorts by column tag, whose domain is the column
+/// count).
+pub fn sort_pairs_by_key<V>(
+    grid: &Grid,
+    keys: &mut Vec<u32>,
+    values: &mut Vec<V>,
+    max_key: u32,
+    digit_bits: u32,
+) where
+    V: Clone + Send + Sync + Default,
+{
+    assert_eq!(
+        keys.len(),
+        values.len(),
+        "keys and values must be the same length"
+    );
+    let digit_bits = digit_bits.clamp(1, 16);
+    let num_bins = 1usize << digit_bits;
+    let key_bits = 32 - max_key.leading_zeros();
+    let passes = key_bits.div_ceil(digit_bits).max(1);
+
+    let n = keys.len();
+    let mut keys_out = vec![0u32; n];
+    let mut values_out = vec![V::default(); n];
+
+    for pass in 0..passes {
+        let shift = pass * digit_bits;
+        partition_pass(
+            grid,
+            keys,
+            values,
+            &mut keys_out,
+            &mut values_out,
+            shift,
+            num_bins,
+        );
+        std::mem::swap(keys, &mut keys_out);
+        std::mem::swap(values, &mut values_out);
+    }
+}
+
+/// One stable partitioning pass on digit `(key >> shift) & (num_bins-1)`.
+///
+/// This is also exposed on its own because the tagging pipeline uses a
+/// single partitioning pass directly when the column count fits one digit.
+pub fn partition_pass<V>(
+    grid: &Grid,
+    keys: &[u32],
+    values: &[V],
+    keys_out: &mut [u32],
+    values_out: &mut [V],
+    shift: u32,
+    num_bins: usize,
+) where
+    V: Clone + Send + Sync,
+{
+    let n = keys.len();
+    let mask = (num_bins - 1) as u32;
+    let digit = |i: usize| (keys[i] >> shift) & mask;
+
+    // (1) Per-worker histograms.
+    let locals = local_histograms(grid, n, num_bins, &|i| digit(i));
+    let num_workers = locals.len();
+
+    // (2) Exclusive prefix sum in digit-major, worker-minor order.
+    let mut starts = vec![vec![0u64; num_bins]; num_workers];
+    let mut running = 0u64;
+    for d in 0..num_bins {
+        for w in 0..num_workers {
+            starts[w][d] = running;
+            running += locals[w][d];
+        }
+    }
+    debug_assert_eq!(running as usize, n);
+
+    // (3) Stable scatter: each worker walks its contiguous input range in
+    // order, so writes within (worker, digit) are ordered, and the start
+    // offsets order (digit, worker) runs correctly.
+    {
+        let kw = SlotWriter::new(keys_out);
+        let vw = SlotWriter::new(values_out);
+        grid.run_partitioned(n, |w, range| {
+            let mut cursors = starts[w].clone();
+            for i in range {
+                let d = digit(i) as usize;
+                let dst = cursors[d] as usize;
+                cursors[d] += 1;
+                unsafe {
+                    kw.write(dst, keys[i]);
+                    vw.write(dst, values[i].clone());
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_sorted_stable(orig_keys: &[u32], keys: &[u32], values: &[u64]) {
+        // keys ascending
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        // stability: values carry original index; within equal keys they
+        // must stay increasing.
+        for w in keys.windows(2).zip(values.windows(2)) {
+            if w.0[0] == w.0[1] {
+                assert!(w.1[0] < w.1[1], "stability violated");
+            }
+        }
+        // permutation check
+        let mut a = orig_keys.to_vec();
+        let mut b = keys.to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sorts_small() {
+        let grid = Grid::new(3);
+        let mut keys = vec![3u32, 1, 2, 1, 0, 3, 1];
+        let orig = keys.clone();
+        let mut vals: Vec<u64> = (0..keys.len() as u64).collect();
+        sort_pairs_by_key(&grid, &mut keys, &mut vals, 3, 2);
+        check_sorted_stable(&orig, &keys, &vals);
+    }
+
+    #[test]
+    fn empty_input() {
+        let grid = Grid::new(2);
+        let mut keys: Vec<u32> = vec![];
+        let mut vals: Vec<u64> = vec![];
+        sort_pairs_by_key(&grid, &mut keys, &mut vals, 100, 8);
+        assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn max_key_zero() {
+        let grid = Grid::new(2);
+        let mut keys = vec![0u32; 10];
+        let mut vals: Vec<u64> = (0..10).collect();
+        sort_pairs_by_key(&grid, &mut keys, &mut vals, 0, 8);
+        assert_eq!(vals, (0..10).collect::<Vec<_>>());
+    }
+
+    proptest! {
+        #[test]
+        fn matches_std_stable_sort(
+            keys in proptest::collection::vec(0u32..50, 0..600),
+            workers in 1usize..6,
+            digit_bits in 1u32..9,
+        ) {
+            let grid = Grid::new(workers);
+            let mut k = keys.clone();
+            let mut v: Vec<u64> = (0..keys.len() as u64).collect();
+            sort_pairs_by_key(&grid, &mut k, &mut v, 49, digit_bits);
+
+            let mut want: Vec<(u32, u64)> =
+                keys.iter().copied().zip(0..keys.len() as u64).collect();
+            want.sort_by_key(|p| p.0); // std stable sort
+            let want_k: Vec<u32> = want.iter().map(|p| p.0).collect();
+            let want_v: Vec<u64> = want.iter().map(|p| p.1).collect();
+            prop_assert_eq!(k, want_k);
+            prop_assert_eq!(v, want_v);
+        }
+
+        #[test]
+        fn large_key_domain(keys in proptest::collection::vec(0u32..1_000_000, 0..300)) {
+            let grid = Grid::new(4);
+            let mut k = keys.clone();
+            let mut v: Vec<u64> = (0..keys.len() as u64).collect();
+            sort_pairs_by_key(&grid, &mut k, &mut v, 999_999, 8);
+            let mut want = keys.clone();
+            want.sort_unstable();
+            prop_assert_eq!(k, want);
+        }
+    }
+}

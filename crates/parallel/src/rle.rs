@@ -1,0 +1,145 @@
+//! Run-length encoding.
+//!
+//! Paper §3.3: "To generate the index, the algorithm performs a run-length
+//! encoding on the symbols' record-tags, which yields each field's record
+//! and its number of symbols." The parallel formulation is head-flag based:
+//! mark run heads, prefix-sum the flags to get output slots, then scatter
+//! run values and compute run lengths from head positions.
+
+use crate::grid::{Grid, SlotWriter};
+use crate::scan::{exclusive_scan_total, AddOp};
+
+/// The result of run-length encoding a sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunLengths<T> {
+    /// The value of each run, in input order.
+    pub values: Vec<T>,
+    /// The length of each run (parallel to `values`).
+    pub lengths: Vec<u64>,
+    /// The starting input offset of each run (parallel to `values`).
+    pub offsets: Vec<u64>,
+}
+
+/// Run-length encode `items` in parallel.
+pub fn run_length_encode<T>(grid: &Grid, items: &[T]) -> RunLengths<T>
+where
+    T: Clone + Eq + Send + Sync + Default,
+{
+    let n = items.len();
+    if n == 0 {
+        return RunLengths {
+            values: Vec::new(),
+            lengths: Vec::new(),
+            offsets: Vec::new(),
+        };
+    }
+
+    // 1. Head flags: 1 where a new run starts.
+    let flags: Vec<u64> = grid.map_indexed(n, |i| u64::from(i == 0 || items[i] != items[i - 1]));
+
+    // 2. Exclusive prefix sum of the flags gives each head its output slot.
+    let (slots_scan, num_runs) = exclusive_scan_total(grid, &flags, &AddOp);
+    let num_runs = num_runs as usize;
+
+    // 3. Scatter heads.
+    let mut values = vec![T::default(); num_runs];
+    let mut offsets = vec![0u64; num_runs];
+    {
+        let vw = SlotWriter::new(&mut values);
+        let ow = SlotWriter::new(&mut offsets);
+        grid.run_partitioned(n, |_, range| {
+            for i in range {
+                if flags[i] == 1 {
+                    let slot = slots_scan[i] as usize;
+                    unsafe {
+                        vw.write(slot, items[i].clone());
+                        ow.write(slot, i as u64);
+                    }
+                }
+            }
+        });
+    }
+
+    // 4. Lengths from adjacent offsets.
+    let lengths: Vec<u64> = grid.map_indexed(num_runs, |r| {
+        let end = if r + 1 < num_runs {
+            offsets[r + 1]
+        } else {
+            n as u64
+        };
+        end - offsets[r]
+    });
+
+    RunLengths {
+        values,
+        lengths,
+        offsets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rle_seq<T: Clone + Eq>(items: &[T]) -> (Vec<T>, Vec<u64>, Vec<u64>) {
+        let mut values = Vec::new();
+        let mut lengths: Vec<u64> = Vec::new();
+        let mut offsets = Vec::new();
+        for (i, x) in items.iter().enumerate() {
+            if values.last() != Some(x) || i == 0 {
+                // Start a new run even when the value repeats across what a
+                // caller considers a boundary — for plain RLE only equality
+                // matters, so this is just "value changed or first element".
+                if i == 0 || items[i - 1] != *x {
+                    values.push(x.clone());
+                    lengths.push(1);
+                    offsets.push(i as u64);
+                    continue;
+                }
+            }
+            *lengths.last_mut().unwrap() += 1;
+        }
+        (values, lengths, offsets)
+    }
+
+    #[test]
+    fn encodes_runs() {
+        let grid = Grid::new(3);
+        let xs = vec![0u32, 0, 0, 1, 1, 2, 0, 0];
+        let r = run_length_encode(&grid, &xs);
+        assert_eq!(r.values, vec![0, 1, 2, 0]);
+        assert_eq!(r.lengths, vec![3, 2, 1, 2]);
+        assert_eq!(r.offsets, vec![0, 3, 5, 6]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let grid = Grid::new(2);
+        let r = run_length_encode::<u32>(&grid, &[]);
+        assert!(r.values.is_empty());
+        let r = run_length_encode(&grid, &[7u32]);
+        assert_eq!(r.values, vec![7]);
+        assert_eq!(r.lengths, vec![1]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_sequential(xs in proptest::collection::vec(0u32..5, 0..400),
+                              workers in 1usize..6) {
+            let grid = Grid::new(workers);
+            let got = run_length_encode(&grid, &xs);
+            let (v, l, o) = rle_seq(&xs);
+            prop_assert_eq!(got.values, v);
+            prop_assert_eq!(got.lengths, l);
+            prop_assert_eq!(got.offsets, o);
+        }
+
+        #[test]
+        fn lengths_sum_to_input(xs in proptest::collection::vec(0u32..3, 0..300)) {
+            let grid = Grid::new(4);
+            let r = run_length_encode(&grid, &xs);
+            prop_assert_eq!(r.lengths.iter().sum::<u64>() as usize, xs.len());
+        }
+    }
+}

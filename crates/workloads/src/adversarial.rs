@@ -1,0 +1,142 @@
+//! Pathological inputs for robustness testing.
+//!
+//! ParPaRaw's claim is robustness "despite the huge diversity of inputs it
+//! is confronted with" (§1). These generators produce the diversity: empty
+//! fields everywhere, quote-heavy fields, very long unquoted fields,
+//! CRLF endings, multi-byte UTF-8 dominated text, and inputs whose
+//! records have wildly varying field counts.
+
+use crate::rng::SplitMix64;
+
+/// CSV where most fields are empty (`,,,\n` rows) with occasional values.
+pub fn mostly_empty(target_bytes: usize, columns: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::with_capacity(target_bytes + 64);
+    while out.len() < target_bytes {
+        for c in 0..columns {
+            if rng.next_below(10) == 0 {
+                out.extend_from_slice(rng.next_below(1000).to_string().as_bytes());
+            }
+            if c + 1 < columns {
+                out.push(b',');
+            }
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Quote-dense CSV: every field quoted, escaped quotes everywhere.
+pub fn quote_heavy(target_bytes: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::with_capacity(target_bytes + 64);
+    while out.len() < target_bytes {
+        for c in 0..4 {
+            out.push(b'"');
+            for _ in 0..rng.next_range(0, 6) {
+                if rng.next_below(3) == 0 {
+                    out.extend_from_slice(b"\"\"");
+                } else {
+                    out.push(b'a' + rng.next_below(26) as u8);
+                }
+            }
+            out.push(b'"');
+            if c < 3 {
+                out.push(b',');
+            }
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Records whose field counts vary between 1 and `max_columns`.
+pub fn ragged(target_bytes: usize, max_columns: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::with_capacity(target_bytes + 64);
+    while out.len() < target_bytes {
+        let cols = rng.next_range(1, max_columns as u64);
+        for c in 0..cols {
+            out.extend_from_slice(rng.next_below(100).to_string().as_bytes());
+            if c + 1 < cols {
+                out.push(b',');
+            }
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+/// CRLF-terminated records.
+pub fn crlf(target_bytes: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::with_capacity(target_bytes + 64);
+    while out.len() < target_bytes {
+        out.extend_from_slice(
+            format!("{},{}\r\n", rng.next_below(1000), rng.next_below(1000)).as_bytes(),
+        );
+    }
+    out
+}
+
+/// Multi-byte-UTF-8-dominated text fields (CJK + emoji), quoted.
+pub fn unicode_heavy(target_bytes: usize, seed: u64) -> Vec<u8> {
+    const SNIPPETS: &[&str] = &["日本語", "中文文本", "한국어", "🦀🚀", "données", "größer"];
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::with_capacity(target_bytes + 64);
+    while out.len() < target_bytes {
+        out.extend_from_slice(format!("{},\"", rng.next_below(100)).as_bytes());
+        for _ in 0..rng.next_range(1, 8) {
+            out.extend_from_slice(rng.choice(SNIPPETS).as_bytes());
+            out.push(b' ');
+        }
+        out.extend_from_slice(b"\"\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parparaw_core::{parse_csv, ParserOptions};
+    use parparaw_parallel::Grid;
+
+    fn opts(cs: usize) -> ParserOptions {
+        ParserOptions {
+            grid: Grid::new(2),
+            ..ParserOptions::default()
+        }
+        .chunk_size(cs)
+    }
+
+    #[test]
+    fn all_generators_parse_without_rejects() {
+        let inputs = [
+            mostly_empty(20_000, 5, 1),
+            quote_heavy(20_000, 2),
+            ragged(20_000, 7, 3),
+            crlf(20_000, 4),
+            unicode_heavy(20_000, 5),
+        ];
+        for (i, data) in inputs.iter().enumerate() {
+            let out = parse_csv(data, opts(31)).unwrap_or_else(|e| panic!("input {i}: {e}"));
+            assert_eq!(out.stats.rejected_records, 0, "input {i}");
+            assert!(out.stats.input_valid, "input {i}");
+        }
+    }
+
+    #[test]
+    fn chunk_size_invariance_on_adversarial_inputs() {
+        for data in [
+            quote_heavy(3_000, 11),
+            unicode_heavy(3_000, 12),
+            mostly_empty(3_000, 4, 13),
+        ] {
+            let reference = parse_csv(&data, opts(31)).unwrap();
+            for cs in [1usize, 2, 7, 64] {
+                let out = parse_csv(&data, opts(cs)).unwrap();
+                assert_eq!(out.table, reference.table, "chunk size {cs}");
+            }
+        }
+    }
+}

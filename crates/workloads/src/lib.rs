@@ -1,0 +1,34 @@
+//! Deterministic synthetic workloads for the ParPaRaw evaluation.
+//!
+//! The paper evaluates on two proprietary datasets that cannot be
+//! downloaded in this environment; these generators produce synthetic
+//! equivalents matched on every characteristic the evaluation depends on
+//! (see `DESIGN.md` §5):
+//!
+//! * [`yelp`] — the *yelp reviews* stand-in: 9 columns, all fields
+//!   double-quoted, an average record of ≈721 bytes dominated by review
+//!   text containing embedded commas, newlines, and escaped quotes — the
+//!   input that defeats context-free parallel splitting;
+//! * [`taxi`] — the *NYC taxi trips* stand-in: 17 numeric/temporal
+//!   columns, ≈88 bytes per record, ≈5 bytes per field — the input that
+//!   stresses type conversion;
+//! * [`skewed`] — either dataset with one giant record spliced in
+//!   (paper Fig. 11 right);
+//! * [`logs`] — W3C-extended-log-style lines with `#` directives;
+//! * [`adversarial`] — pathological inputs for robustness tests.
+//!
+//! All generators are seeded and deterministic: the same
+//! `(target_bytes, seed)` always yields the same bytes.
+
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod logs;
+pub mod rng;
+pub mod skewed;
+pub mod taxi;
+pub mod yelp;
+
+pub use rng::SplitMix64;
+
+pub(crate) use yelp::month_day as yelp_month_day;

@@ -1,0 +1,114 @@
+//! W3C-extended-log-style workload.
+//!
+//! Log files are the paper's second motivating format (§1): `#` directive
+//! lines, space-delimited fields, quoted strings and bracketed
+//! timestamps. Used by the log-analytics example and by the test that
+//! breaks the quote-parity exploit.
+
+use crate::rng::SplitMix64;
+use crate::yelp::month_day;
+use parparaw_columnar::{DataType, Field, Schema};
+
+const METHODS: &[&str] = &["GET", "POST", "PUT", "DELETE", "HEAD"];
+const PATHS: &[&str] = &[
+    "/", "/index.html", "/api/v1/items", "/api/v1/items/42", "/static/app.js",
+    "/static/logo.png", "/search?q=a b", "/login", "/logout", "/admin",
+];
+const AGENTS: &[&str] = &[
+    "Mozilla/5.0 (X11; Linux)",
+    "curl/7.88",
+    "It's a \"bot\"", // odd quote count — the quote-parity killer
+    "Safari/605.1",
+];
+
+/// Schema of the generated access log.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("ip", DataType::Utf8),
+        Field::new("user", DataType::Utf8),
+        Field::new("time", DataType::Utf8),
+        Field::new("request", DataType::Utf8),
+        Field::new("status", DataType::Int16),
+        Field::new("bytes", DataType::Int32),
+        Field::new("agent", DataType::Utf8),
+    ])
+}
+
+/// Generate at least `target_bytes` of log lines. Every ~40 lines a `#`
+/// directive line is emitted; with `quoted_agents` the user-agent column
+/// is a quoted string (which may contain an odd number of quotes — the
+/// case that breaks parity-based parsers).
+pub fn generate(target_bytes: usize, seed: u64, quoted_agents: bool) -> Vec<u8> {
+    use std::io::Write;
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::with_capacity(target_bytes + 512);
+    out.extend_from_slice(b"#Version: 1.0\n#Fields: ip user time request status bytes agent\n");
+    let mut line = 0u64;
+    while out.len() < target_bytes {
+        line += 1;
+        if line % 40 == 0 {
+            let _ = write!(out, "#Remark: rotation check {line}, all \"ok\"\n");
+            continue;
+        }
+        let day = rng.next_range(0, 364) as u32;
+        let (mo, dd) = month_day(day);
+        let _ = write!(
+            out,
+            "10.{}.{}.{} user{} [2018-{mo:02}-{dd:02}T{:02}:{:02}:{:02}] \"{} {}\" {} {}",
+            rng.next_below(256),
+            rng.next_below(256),
+            rng.next_below(256),
+            rng.next_below(500),
+            rng.next_below(24),
+            rng.next_below(60),
+            rng.next_below(60),
+            rng.choice(METHODS),
+            rng.choice(PATHS),
+            rng.choice(&[200u64, 200, 200, 301, 404, 500]),
+            rng.next_below(1 << 20),
+        );
+        if quoted_agents {
+            let agent = rng.choice(AGENTS);
+            let escaped = agent.replace('"', "'");
+            let _ = write!(out, " \"{escaped}\"");
+        } else {
+            let _ = write!(out, " -");
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parparaw_core::{Parser, ParserOptions};
+    use parparaw_dfa::log::extended_log;
+    use parparaw_parallel::Grid;
+
+    #[test]
+    fn parses_with_the_log_automaton() {
+        let data = generate(50_000, 4, true);
+        let parser = Parser::new(
+            extended_log(),
+            ParserOptions {
+                grid: Grid::new(2),
+                schema: Some(schema()),
+                ..ParserOptions::default()
+            },
+        );
+        let out = parser.parse(&data).unwrap();
+        assert!(out.table.num_rows() > 100);
+        assert_eq!(out.stats.rejected_records, 0);
+        assert_eq!(out.stats.conversion_rejects, 0);
+        // Directive lines yielded no records.
+        let directives = data.split(|&b| b == b'\n').filter(|l| l.first() == Some(&b'#')).count();
+        let lines = data.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count();
+        assert_eq!(out.table.num_rows(), lines - directives);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(10_000, 1, true), generate(10_000, 1, true));
+    }
+}

@@ -1,0 +1,161 @@
+//! The NYC-taxi-trips stand-in.
+//!
+//! Paper §5: "The NYC taxi trips dataset is 9.073 GB large and comprises
+//! 102.8 million yellow taxi trips taken in the year 2018 … The dataset's
+//! 17 columns cover numerical and temporal datatypes. With an average of
+//! only 88.3 bytes per record and 5.2 bytes per field, the majority of
+//! the fields are very short and of a numerical type, putting the
+//! emphasis on data type conversion."
+//!
+//! The generated records follow the 2018 yellow-taxi layout: unquoted,
+//! 17 columns, two timestamps, integer codes, and seven money columns —
+//! exactly the conversion-heavy shape the paper uses to stress the
+//! convert phase.
+
+use crate::rng::SplitMix64;
+use parparaw_columnar::{DataType, Field, Schema};
+
+/// Column schema of the taxi-like dataset (2018 yellow-cab layout).
+pub fn schema() -> Schema {
+    let money = DataType::Decimal128 { scale: 2 };
+    Schema::new(vec![
+        Field::new("vendor_id", DataType::Int8),
+        Field::new("tpep_pickup_datetime", DataType::TimestampMicros),
+        Field::new("tpep_dropoff_datetime", DataType::TimestampMicros),
+        Field::new("passenger_count", DataType::Int8),
+        Field::new("trip_distance", DataType::Float64),
+        Field::new("ratecode_id", DataType::Int8),
+        Field::new("store_and_fwd_flag", DataType::Boolean),
+        Field::new("pu_location_id", DataType::Int16),
+        Field::new("do_location_id", DataType::Int16),
+        Field::new("payment_type", DataType::Int8),
+        Field::new("fare_amount", money),
+        Field::new("extra", money),
+        Field::new("mta_tax", money),
+        Field::new("tip_amount", money),
+        Field::new("tolls_amount", money),
+        Field::new("improvement_surcharge", money),
+        Field::new("total_amount", money),
+    ])
+}
+
+fn push_record(out: &mut Vec<u8>, rng: &mut SplitMix64) {
+    use std::io::Write;
+    let day = rng.next_range(0, 364) as u32;
+    let (mo, dd) = super::yelp_month_day(day);
+    let pickup_h = rng.next_below(24);
+    let pickup_m = rng.next_below(60);
+    let pickup_s = rng.next_below(60);
+    let dur_min = rng.next_range(2, 59);
+    let drop_h = (pickup_h + (pickup_m + dur_min) / 60) % 24;
+    let drop_m = (pickup_m + dur_min) % 60;
+
+    let distance = rng.next_range(3, 250) as f64 / 10.0;
+    let fare = 250 + rng.next_below(4000); // cents
+    let extra = *rng.choice(&[0u64, 50, 100]);
+    let mta = 50u64;
+    let tip = (fare as f64 * rng.next_f64() * 0.3) as u64;
+    let tolls = if rng.next_below(20) == 0 { 576 } else { 0 };
+    let surcharge = 30u64;
+    let total = fare + extra + mta + tip + tolls + surcharge;
+
+    let cents = |v: u64| format!("{}.{:02}", v / 100, v % 100);
+    let _ = write!(
+        out,
+        "{},2018-{mo:02}-{dd:02} {pickup_h:02}:{pickup_m:02}:{pickup_s:02},2018-{mo:02}-{dd:02} {drop_h:02}:{drop_m:02}:{pickup_s:02},{},{distance:.1},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+        rng.next_range(1, 2),
+        rng.next_range(1, 6),
+        rng.next_range(1, 6),
+        if rng.next_below(100) == 0 { "Y" } else { "N" },
+        rng.next_range(1, 265),
+        rng.next_range(1, 265),
+        rng.next_range(1, 4),
+        cents(fare),
+        cents(extra),
+        cents(mta),
+        cents(tip),
+        cents(tolls),
+        cents(surcharge),
+        cents(total),
+    );
+}
+
+/// Generate at least `target_bytes` of taxi-like CSV (whole records).
+pub fn generate(target_bytes: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::with_capacity(target_bytes + 256);
+    while out.len() < target_bytes {
+        push_record(&mut out, &mut rng);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parparaw_columnar::Value;
+    use parparaw_core::{parse_csv, ParserOptions};
+    use parparaw_parallel::Grid;
+
+    fn opts() -> ParserOptions {
+        ParserOptions {
+            grid: Grid::new(2),
+            schema: Some(schema()),
+            ..ParserOptions::default()
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(50_000, 5), generate(50_000, 5));
+        assert_ne!(generate(50_000, 5), generate(50_000, 6));
+    }
+
+    #[test]
+    fn record_and_field_sizes_match_paper() {
+        let data = generate(1_000_000, 11);
+        let out = parse_csv(&data, opts()).unwrap();
+        let rows = out.table.num_rows() as f64;
+        let avg_record = data.len() as f64 / rows;
+        assert!(
+            (75.0..105.0).contains(&avg_record),
+            "average record {avg_record:.1} should be near the paper's 88.3"
+        );
+        let avg_field = avg_record / 17.0;
+        assert!(avg_field < 7.0, "fields are short: {avg_field:.1}");
+        assert_eq!(out.table.num_columns(), 17);
+        assert_eq!(out.stats.conversion_rejects, 0);
+        assert_eq!(out.stats.rejected_records, 0);
+    }
+
+    #[test]
+    fn money_adds_up() {
+        let data = generate(100_000, 3);
+        let out = parse_csv(&data, opts()).unwrap();
+        let t = &out.table;
+        for row in 0..t.num_rows().min(200) {
+            let cents = |name: &str| match t.column_by_name(name).unwrap().value(row) {
+                Value::Decimal128(v, 2) => v,
+                other => panic!("{name}: {other:?}"),
+            };
+            let total = cents("fare_amount")
+                + cents("extra")
+                + cents("mta_tax")
+                + cents("tip_amount")
+                + cents("tolls_amount")
+                + cents("improvement_surcharge");
+            assert_eq!(total, cents("total_amount"), "row {row}");
+        }
+    }
+
+    #[test]
+    fn timestamps_are_ordered_within_a_day() {
+        let data = generate(50_000, 8);
+        let out = parse_csv(&data, opts()).unwrap();
+        let t = &out.table;
+        let pu = t.column_by_name("tpep_pickup_datetime").unwrap();
+        for row in 0..t.num_rows().min(50) {
+            assert!(matches!(pu.value(row), Value::TimestampMicros(_)));
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Parse once, persist columnar, query later — the ingestion → storage →
+//! analytics loop the paper's in-situ-processing motivation describes.
+//!
+//! ```sh
+//! cargo run --release --example ipc_pipeline
+//! ```
+
+use parparaw::columnar::{compute, ipc};
+use parparaw::prelude::*;
+use parparaw::workloads::taxi;
+
+fn main() {
+    // 1. Ingest: parse taxi-like CSV with a typed schema.
+    let csv = taxi::generate(2 << 20, 0x7A71);
+    let out = parse_csv(
+        &csv,
+        ParserOptions {
+            schema: Some(taxi::schema()),
+            ..ParserOptions::default()
+        },
+    )
+    .expect("taxi data parses");
+    println!(
+        "ingested {} trips from {} KB of CSV",
+        out.table.num_rows(),
+        csv.len() >> 10
+    );
+
+    // 2. Persist: binary columnar file (Arrow-IPC-style, self-describing).
+    let path = std::env::temp_dir().join("parparaw_trips.pprw");
+    let bytes = ipc::write_table(&out.table);
+    std::fs::write(&path, &bytes).expect("write table");
+    println!(
+        "persisted {} KB columnar ({}% of the CSV)",
+        bytes.len() >> 10,
+        bytes.len() * 100 / csv.len()
+    );
+
+    // 3. Reload and query without re-parsing.
+    let raw = std::fs::read(&path).expect("read table");
+    let table = ipc::read_table(&raw).expect("valid table file");
+    assert_eq!(table, out.table);
+
+    let tips = table.column_by_name("tip_amount").expect("column");
+    let fares = table.column_by_name("fare_amount").expect("column");
+    let (Some(Value::Decimal128(tip_total, 2)), Some(Value::Decimal128(fare_total, 2))) =
+        (compute::sum(tips), compute::sum(fares))
+    else {
+        panic!("money columns are decimals");
+    };
+    println!(
+        "total fares ${}.{:02}, total tips ${}.{:02} ({:.1}%)",
+        fare_total / 100,
+        fare_total % 100,
+        tip_total / 100,
+        tip_total % 100,
+        tip_total as f64 / fare_total as f64 * 100.0
+    );
+
+    // 4. A filtered view: long trips only.
+    let long_trips = compute::filter_table(
+        &table,
+        table.schema().index_of("trip_distance").unwrap(),
+        |v| matches!(v, Value::Float64(d) if *d > 20.0),
+    );
+    println!(
+        "{} trips longer than 20 miles (of {})",
+        long_trips.num_rows(),
+        table.num_rows()
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,61 @@
+//! Log analytics: parse a W3C-extended-log-style access log with `#`
+//! directives, bracketed timestamps and quoted request strings — the
+//! format family the paper uses to motivate general FSM-based parsing
+//! over format-specific exploits.
+//!
+//! ```sh
+//! cargo run --release --example log_analytics
+//! ```
+
+use parparaw::prelude::*;
+use parparaw_dfa::log::extended_log;
+use parparaw_workloads::logs;
+
+fn main() {
+    // 2 MB of synthetic access log, directives included.
+    let data = logs::generate(2 << 20, 7, true);
+    println!("input: {} KB of access log", data.len() >> 10);
+
+    let parser = Parser::new(
+        extended_log(),
+        ParserOptions {
+            schema: Some(logs::schema()),
+            ..ParserOptions::default()
+        },
+    );
+    let out = parser.parse(&data).expect("log parses");
+    println!(
+        "parsed {} requests ({} rejected), directives skipped automatically",
+        out.table.num_rows(),
+        out.stats.rejected_records
+    );
+    println!("{}", out.table.pretty(5));
+
+    // A tiny aggregation: status-code histogram.
+    let status = out.table.column_by_name("status").expect("status column");
+    let mut counts: std::collections::BTreeMap<i64, u64> = Default::default();
+    for i in 0..status.len() {
+        if let Value::Int64(code) = status.value(i) {
+            *counts.entry(code).or_default() += 1;
+        }
+    }
+    println!("status code histogram:");
+    for (code, n) in counts {
+        println!("  {code}: {n}");
+    }
+
+    // Why a DFA matters: the quote-parity exploit miscounts this input
+    // the moment a directive line contains an odd number of quotes.
+    let parity = parparaw::baselines::QuoteParityParser::new(Grid::auto(), 4096, None);
+    let broken = parity.parse(&data).expect("runs, but misparses");
+    println!(
+        "\nquote-parity exploit found {} records (DFA found {}) — {}",
+        broken.table.num_rows(),
+        out.table.num_rows(),
+        if broken.table.num_rows() == out.table.num_rows() {
+            "same by luck"
+        } else {
+            "broken, as the paper predicts"
+        }
+    );
+}

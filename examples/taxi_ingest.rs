@@ -1,0 +1,75 @@
+//! Conversion-heavy ingestion: the NYC-taxi-like workload.
+//!
+//! 17 short numeric/temporal fields per record put all the weight on the
+//! type-conversion phase (paper §5.1: "type conversion of the NYC taxi
+//! trips dataset accounts for roughly one third of the total processing
+//! time"). This example parses with an explicit schema — decimals for
+//! money, timestamps, booleans — validates the column count, and shows
+//! projection pushdown (parsing only three columns).
+//!
+//! ```sh
+//! cargo run --release --example taxi_ingest
+//! ```
+
+use parparaw::prelude::*;
+use parparaw_workloads::taxi;
+
+fn main() {
+    let data = taxi::generate(4 << 20, 0x7A71);
+    println!("input: {} MB of taxi-like trips", data.len() >> 20);
+
+    // Full parse with schema + validation.
+    let opts = ParserOptions {
+        schema: Some(taxi::schema()),
+        validate_column_count: true,
+        ..ParserOptions::default()
+    };
+    let out = parse_csv(&data, opts).expect("taxi data parses");
+    println!(
+        "parsed {} trips, {} columns, {} rejected, {} conversion failures",
+        out.table.num_rows(),
+        out.table.num_columns(),
+        out.stats.rejected_records,
+        out.stats.conversion_rejects
+    );
+    println!("{}", out.table.pretty(3));
+
+    let convert_share = {
+        let total = out.timings.total().as_secs_f64();
+        out.timings.convert.as_secs_f64() / total
+    };
+    println!(
+        "convert phase share of wall time: {:.0}% (the paper reports ~1/3 for this dataset)",
+        convert_share * 100.0
+    );
+
+    // Projection pushdown: only the columns an aggregation needs.
+    let opts = ParserOptions {
+        schema: Some(taxi::schema()),
+        selected_columns: Some(vec![4, 10, 13]), // distance, fare, tip
+        ..ParserOptions::default()
+    };
+    let slim = parse_csv(&data, opts).expect("projected parse");
+    println!(
+        "\nprojected parse kept {} of 17 columns ({} KB instead of {} KB of output)",
+        slim.table.num_columns(),
+        slim.stats.output_bytes >> 10,
+        out.stats.output_bytes >> 10,
+    );
+
+    // Average tip ratio over the projected table.
+    let fares = slim.table.column_by_name("fare_amount").unwrap();
+    let tips = slim.table.column_by_name("tip_amount").unwrap();
+    let mut ratio_sum = 0.0;
+    let mut n = 0u64;
+    for i in 0..slim.table.num_rows() {
+        if let (Value::Decimal128(f, 2), Value::Decimal128(t, 2)) = (fares.value(i), tips.value(i))
+        {
+            if f > 0 {
+                ratio_sum += t as f64 / f as f64;
+                n += 1;
+            }
+        }
+    }
+    println!("average tip ratio: {:.1}%", 100.0 * ratio_sum / n as f64);
+}

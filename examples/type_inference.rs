@@ -1,0 +1,55 @@
+//! Schema-free parsing: column-count and type inference (paper §4.3).
+//!
+//! No schema is provided; the pipeline infers the number of columns from
+//! the offset scans and each column's type from a parallel reduction over
+//! per-field minimal types — including the temporal types the paper lists
+//! as an extension.
+//!
+//! ```sh
+//! cargo run --release --example type_inference
+//! ```
+
+use parparaw::prelude::*;
+
+fn main() {
+    let csv = b"\
+1,0.5,2018-01-04,2018-01-04 12:30:00,yes,Bookcase
+2,1.25,2018-02-11,2018-02-11 08:15:30,no,Frame
+3,7.0,2018-03-20,2018-03-20 23:59:59,yes,\"Shelf, wall-mounted\"
+4,,2018-04-02,2018-04-02 06:00:00,no,Lamp
+";
+
+    let out = parse_csv(csv, ParserOptions::default()).expect("parses");
+    println!("inferred schema:");
+    for f in &out.table.schema().fields {
+        println!("  {:<4} {}", f.name, f.data_type);
+    }
+    assert_eq!(out.table.schema().fields[0].data_type, DataType::Int8);
+    assert_eq!(out.table.schema().fields[1].data_type, DataType::Float64);
+    assert_eq!(out.table.schema().fields[2].data_type, DataType::Date32);
+    assert_eq!(out.table.schema().fields[3].data_type, DataType::TimestampMicros);
+    assert_eq!(out.table.schema().fields[4].data_type, DataType::Boolean);
+    assert_eq!(out.table.schema().fields[5].data_type, DataType::Utf8);
+    println!("\n{}", out.table.pretty(10));
+
+    // Empty fields become NULL (row 3's float), and inference ignores them.
+    assert_eq!(out.table.value(3, 1), Value::Null);
+
+    // Mixed chains degrade to text rather than guessing.
+    let mixed = b"1,a\n2018-01-01,b\n";
+    let out = parse_csv(mixed, ParserOptions::default()).unwrap();
+    println!(
+        "a column mixing `1` and `2018-01-01` infers as: {}",
+        out.table.schema().fields[0].data_type
+    );
+    assert_eq!(out.table.schema().fields[0].data_type, DataType::Utf8);
+
+    // Column-count inference also reports what it saw.
+    let ragged = b"1,2\n3,4,5\n6\n";
+    let out = parse_csv(ragged, ParserOptions::default()).unwrap();
+    println!(
+        "ragged input: inferred {} columns (observed min/max {:?})",
+        out.table.num_columns(),
+        out.stats.observed_columns
+    );
+}

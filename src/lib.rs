@@ -1,0 +1,40 @@
+//! # parparaw — massively parallel parsing of delimiter-separated raw data
+//!
+//! The facade crate of the ParPaRaw reproduction (Stehle & Jacobsen,
+//! VLDB 2020). It re-exports the whole workspace under one roof:
+//!
+//! * [`core`] — the parsing pipeline ([`core::Parser`], [`core::parse_csv`],
+//!   streaming);
+//! * [`dfa`] — format automata (RFC 4180 CSV dialects, extended logs,
+//!   custom formats via [`dfa::DfaBuilder`]), plus the paper's MFIRA and
+//!   SWAR building blocks;
+//! * [`columnar`] — the Arrow-like output tables;
+//! * [`parallel`] — the data-parallel primitives (scans, radix sort,
+//!   bitmaps, grids);
+//! * [`device`] — the simulated GPU device and PCIe/streaming models;
+//! * [`baselines`] — the comparison parsers of the paper's evaluation;
+//! * [`workloads`] — deterministic synthetic datasets.
+//!
+//! ```
+//! use parparaw::prelude::*;
+//!
+//! let out = parse_csv(b"1941,199.99,Bookcase\n", ParserOptions::default()).unwrap();
+//! assert_eq!(out.table.num_rows(), 1);
+//! ```
+
+pub use parparaw_baselines as baselines;
+pub use parparaw_columnar as columnar;
+pub use parparaw_core as core;
+pub use parparaw_device as device;
+pub use parparaw_dfa as dfa;
+pub use parparaw_parallel as parallel;
+pub use parparaw_workloads as workloads;
+
+/// The commonly needed names in one import.
+pub mod prelude {
+    pub use parparaw_columnar::{Column, DataType, Field, Schema, Table, Value};
+    pub use parparaw_core::{parse_csv, ParseError, ParseOutput, Parser, ParserOptions, TaggingMode};
+    pub use parparaw_dfa::csv::{rfc4180, CsvDialect};
+    pub use parparaw_dfa::{Dfa, DfaBuilder};
+    pub use parparaw_parallel::Grid;
+}

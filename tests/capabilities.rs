@@ -1,0 +1,149 @@
+//! The §4.3 capabilities, exercised through the public facade: format
+//! validation, record/column skipping, column-count inference and
+//! validation, default values, and type inference.
+
+use parparaw::prelude::*;
+
+#[test]
+fn format_validation_detects_invalid_inputs() {
+    let dfa = rfc4180(&CsvDialect::paper());
+    assert!(dfa.validates(b"a,b\n\"c,d\"\n"));
+    assert!(!dfa.validates(b"\"unterminated"));
+    assert!(!dfa.validates(b"bad\"quote\n"));
+    // Through the pipeline: stats expose validity, data still parses as
+    // far as possible.
+    let out = parse_csv(b"\"unterminated", ParserOptions::default()).unwrap();
+    assert!(!out.stats.input_valid);
+}
+
+#[test]
+fn rejected_records_are_flagged_not_dropped() {
+    let dialect = CsvDialect {
+        recover_invalid: true,
+        ..CsvDialect::default()
+    };
+    let parser = Parser::new(rfc4180(&dialect), ParserOptions::default());
+    let out = parser.parse(b"good,1\n\"bad\"x,2\nalso good,3\n").unwrap();
+    assert_eq!(out.table.num_rows(), 3);
+    assert!(!out.rejected.get(0));
+    assert!(out.rejected.get(1));
+    assert!(!out.rejected.get(2));
+    assert_eq!(out.table.value(1, 0), Value::Null);
+    assert_eq!(out.table.value(2, 0), Value::Utf8("also good".into()));
+}
+
+#[test]
+fn skipping_records_and_selecting_columns() {
+    let input = b"r0c0,r0c1,r0c2\nr1c0,r1c1,r1c2\nr2c0,r2c1,r2c2\nr3c0,r3c1,r3c2\n";
+    let out = parse_csv(
+        input,
+        ParserOptions {
+            skip_records: [0u64, 2].into_iter().collect(),
+            selected_columns: Some(vec![1]),
+            ..ParserOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(out.table.num_rows(), 2);
+    assert_eq!(out.table.num_columns(), 1);
+    assert_eq!(out.table.value(0, 0), Value::Utf8("r1c1".into()));
+    assert_eq!(out.table.value(1, 0), Value::Utf8("r3c1".into()));
+}
+
+#[test]
+fn column_count_inference_and_validation() {
+    // Inference: the maximum observed count wins.
+    let out = parse_csv(b"a,b\nc,d,e\nf\n", ParserOptions::default()).unwrap();
+    assert_eq!(out.table.num_columns(), 3);
+    assert_eq!(out.stats.observed_columns, Some((1, 3)));
+
+    // Validation: non-conforming records are rejected.
+    let out = parse_csv(
+        b"a,b\nc,d,e\nf\ng,h\n",
+        ParserOptions {
+            schema: Some(Schema::new(vec![
+                Field::new("x", DataType::Utf8),
+                Field::new("y", DataType::Utf8),
+            ])),
+            validate_column_count: true,
+            ..ParserOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(out.stats.rejected_records, 2);
+    assert!(!out.rejected.get(0));
+    assert!(out.rejected.get(1));
+    assert!(out.rejected.get(2));
+    assert!(!out.rejected.get(3));
+}
+
+#[test]
+fn default_values_fill_empty_fields() {
+    let schema = Schema::new(vec![
+        Field::new("name", DataType::Utf8).with_default(Value::Utf8("unknown".into())),
+        Field::new("qty", DataType::Int64).with_default(Value::Int64(1)),
+        Field::new("price", DataType::Float64),
+    ]);
+    let out = parse_csv(
+        b"chair,4,9.5\n,,19.0\ntable,2,\n",
+        ParserOptions {
+            schema: Some(schema),
+            ..ParserOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(out.table.value(1, 0), Value::Utf8("unknown".into()));
+    assert_eq!(out.table.value(1, 1), Value::Int64(1));
+    assert_eq!(out.table.value(2, 2), Value::Null, "no default → NULL");
+}
+
+#[test]
+fn type_inference_covers_all_chains() {
+    let input = b"\
+1,1.5,2018-01-01,2018-01-01 10:00:00,true,text
+127,2.5,2018-06-15,2018-06-15 11:30:00,false,more
+-4,3.25,2018-12-31,2018-12-31 23:59:59,yes,words
+";
+    let out = parse_csv(input, ParserOptions::default()).unwrap();
+    let types: Vec<DataType> = out
+        .table
+        .schema()
+        .fields
+        .iter()
+        .map(|f| f.data_type)
+        .collect();
+    assert_eq!(
+        types,
+        vec![
+            DataType::Int8,
+            DataType::Float64,
+            DataType::Date32,
+            DataType::TimestampMicros,
+            DataType::Boolean,
+            DataType::Utf8,
+        ]
+    );
+}
+
+#[test]
+fn custom_formats_via_the_builder() {
+    // A toy key=value format: records end at ';', fields split at '='.
+    use parparaw::dfa::{DfaBuilder, Emit};
+    let mut b = DfaBuilder::new();
+    let rec = b.state("REC");
+    let eq = b.group(&[b'=']);
+    let semi = b.group(&[b';']);
+    let any = b.catch_all();
+    b.start(rec).accepting(&[rec]);
+    b.transition(rec, eq, rec, Emit::FIELD_DELIM)
+        .transition(rec, semi, rec, Emit::RECORD_DELIM)
+        .transition(rec, any, rec, Emit::DATA);
+    let dfa = b.build().unwrap();
+
+    let parser = Parser::new(dfa, ParserOptions::default());
+    let out = parser.parse(b"a=1;b=2;c=3;").unwrap();
+    assert_eq!(out.table.num_rows(), 3);
+    assert_eq!(out.table.num_columns(), 2);
+    assert_eq!(out.table.value(1, 0), Value::Utf8("b".into()));
+    assert_eq!(out.table.value(1, 1), Value::Int64(2));
+}

@@ -1,0 +1,95 @@
+//! Robustness: arbitrary byte soup must never panic, must be
+//! chunk/worker invariant, and the parallel pipeline must stay equivalent
+//! to the sequential reference even on garbage.
+
+use parparaw::baselines::SequentialParser;
+use parparaw::prelude::*;
+use proptest::prelude::*;
+
+fn opts(workers: usize, chunk: usize) -> ParserOptions {
+    ParserOptions {
+        grid: Grid::new(workers),
+        ..ParserOptions::default()
+    }
+    .chunk_size(chunk)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..400),
+                                   workers in 1usize..4,
+                                   chunk in 1usize..40) {
+        // Any outcome except a panic is acceptable; errors must be the
+        // typed ParseError variants.
+        let _ = parse_csv(&bytes, opts(workers, chunk));
+    }
+
+    #[test]
+    fn arbitrary_bytes_chunk_invariant(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let reference = parse_csv(&bytes, opts(1, 31)).unwrap();
+        for chunk in [1usize, 7, 64] {
+            let out = parse_csv(&bytes, opts(3, chunk)).unwrap();
+            prop_assert_eq!(&out.table, &reference.table, "chunk {}", chunk);
+            prop_assert_eq!(&out.rejected, &reference.rejected);
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_match_sequential(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let dfa = rfc4180(&CsvDialect::default());
+        let par = parse_csv(&bytes, opts(2, 9)).unwrap();
+        let seq = SequentialParser::new(dfa, opts(1, 9)).parse(&bytes).unwrap();
+        prop_assert_eq!(par.table, seq.table);
+        prop_assert_eq!(par.rejected, seq.rejected);
+    }
+
+    #[test]
+    fn recovering_dialect_never_panics_either(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let dfa = rfc4180(&CsvDialect {
+            recover_invalid: true,
+            comment: Some(b'#'),
+            ..CsvDialect::default()
+        });
+        let parser = Parser::new(dfa, opts(2, 13));
+        let _ = parser.parse(&bytes);
+        let _ = parser.parse_stream(&bytes, 37);
+    }
+
+    #[test]
+    fn streaming_arbitrary_bytes_row_counts_match(bytes in proptest::collection::vec(any::<u8>(), 0..300),
+                                                  partition in 1usize..64) {
+        let parser = Parser::new(rfc4180(&CsvDialect::default()), opts(2, 13));
+        let mono = parser.parse(&bytes).unwrap();
+        let streamed = parser.parse_stream(&bytes, partition).unwrap();
+        prop_assert_eq!(streamed.table.num_rows(), mono.table.num_rows());
+    }
+}
+
+#[test]
+fn block_level_tier_is_exercised() {
+    // Fields between the thread budget and the device threshold take the
+    // block-level path; bigger ones take the device path.
+    let mut input = Vec::new();
+    input.extend_from_slice(b"small,x\n");
+    input.extend_from_slice(format!("{},mid\n", "m".repeat(1000)).as_bytes());
+    input.extend_from_slice(format!("{},big\n", "g".repeat(40_000)).as_bytes());
+    let out = parse_csv(
+        &input,
+        ParserOptions {
+            collaboration_threshold: Some(16_384),
+            ..ParserOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(out.stats.collaborative_fields, 2, "mid + big");
+    assert_eq!(out.stats.block_level_fields, 1, "only mid fits a block");
+    assert_eq!(out.table.num_rows(), 3);
+    // Contents intact through both tiers.
+    assert_eq!(
+        out.table.value(1, 0),
+        Value::Utf8("m".repeat(1000))
+    );
+    assert_eq!(out.table.value(2, 0), Value::Utf8("g".repeat(40_000)));
+}

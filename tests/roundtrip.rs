@@ -1,0 +1,109 @@
+//! Round-trip properties: parse → serialise → parse must be lossless.
+
+use parparaw::columnar::csv_out::{write_csv, CsvWriteOptions};
+use parparaw::columnar::ipc;
+use parparaw::prelude::*;
+use parparaw::workloads::{taxi, yelp};
+use proptest::prelude::*;
+
+fn opts(schema: Option<Schema>) -> ParserOptions {
+    ParserOptions {
+        grid: Grid::new(2),
+        schema,
+        ..ParserOptions::default()
+    }
+}
+
+#[test]
+fn yelp_csv_roundtrip() {
+    let data = yelp::generate(120_000, 21);
+    let first = parse_csv(&data, opts(Some(yelp::schema()))).unwrap();
+    let rewritten = write_csv(&first.table, &CsvWriteOptions::default());
+    let second = parse_csv(&rewritten, opts(Some(yelp::schema()))).unwrap();
+    assert_eq!(first.table, second.table);
+}
+
+#[test]
+fn taxi_csv_roundtrip() {
+    let data = taxi::generate(120_000, 22);
+    let first = parse_csv(&data, opts(Some(taxi::schema()))).unwrap();
+    let rewritten = write_csv(&first.table, &CsvWriteOptions::default());
+    let second = parse_csv(&rewritten, opts(Some(taxi::schema()))).unwrap();
+    assert_eq!(first.table, second.table);
+}
+
+#[test]
+fn ipc_roundtrip_on_parsed_tables() {
+    for data in [
+        yelp::generate(60_000, 23),
+        taxi::generate(60_000, 24),
+    ] {
+        let out = parse_csv(&data, opts(None)).unwrap();
+        let bytes = ipc::write_table(&out.table);
+        let back = ipc::read_table(&bytes).unwrap();
+        assert_eq!(back, out.table);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csv_write_parse_is_identity(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[ -~]{0,12}", 1..5), 0..8),
+    ) {
+        // Build a table of arbitrary printable strings, write it, parse it
+        // back with a fixed column count, and compare cell by cell.
+        let ncols = rows.iter().map(|r| r.len()).max().unwrap_or(1);
+        let schema = Schema::new(
+            (0..ncols).map(|i| Field::new(&format!("c{i}"), DataType::Utf8)).collect(),
+        );
+        let columns: Vec<Column> = (0..ncols)
+            .map(|c| {
+                let vals: Vec<String> = rows
+                    .iter()
+                    .map(|r| r.get(c).cloned().unwrap_or_default())
+                    .collect();
+                Column::from_strings(&vals)
+            })
+            .collect();
+        let table = parparaw::columnar::Table::new(schema.clone(), columns).unwrap();
+
+        let csv = write_csv(&table, &CsvWriteOptions::default());
+        let parsed = parse_csv(&csv, opts(Some(schema))).unwrap();
+        prop_assert_eq!(parsed.table.num_rows(), table.num_rows());
+        for r in 0..table.num_rows() {
+            for c in 0..ncols {
+                let want = match table.value(r, c) {
+                    // Empty strings are not representable distinct from
+                    // NULL in the CSV surface (paper §4.3 semantics).
+                    Value::Utf8(s) if s.is_empty() => Value::Null,
+                    v => v,
+                };
+                prop_assert_eq!(parsed.table.value(r, c), want, "row {} col {}", r, c);
+            }
+        }
+    }
+
+    #[test]
+    fn ipc_roundtrip_arbitrary_numeric_tables(
+        ints in proptest::collection::vec(any::<i64>(), 0..50),
+        floats in proptest::collection::vec(any::<f64>().prop_filter("no NaN", |f| !f.is_nan()), 0..50),
+    ) {
+        let n = ints.len().min(floats.len());
+        let table = parparaw::columnar::Table::new(
+            Schema::new(vec![
+                Field::new("i", DataType::Int64),
+                Field::new("f", DataType::Float64),
+            ]),
+            vec![
+                Column::from_i64(ints[..n].to_vec(), None),
+                Column::from_f64(floats[..n].to_vec(), None),
+            ],
+        )
+        .unwrap();
+        let back = ipc::read_table(&ipc::write_table(&table)).unwrap();
+        prop_assert_eq!(back, table);
+    }
+}
