@@ -217,8 +217,8 @@ impl InstantLoadingParser {
             columns.push(out.column);
             fields_meta.push(field);
         }
-        let table = Table::new(Schema::new(fields_meta), columns)
-            .expect("columns sized to record count");
+        let table =
+            Table::new(Schema::new(fields_meta), columns).expect("columns sized to record count");
 
         let mut profile = WorkProfile::new("instant-loading");
         // Row-wise loading touches every byte several times: the DFA walk,
@@ -248,7 +248,13 @@ impl InstantLoadingParser {
 
 /// Parse complete records from `start` until the first record end at or
 /// past `chunk_end`.
-fn parse_records(dfa: &Dfa, input: &[u8], start: usize, chunk_end: usize, out: &mut Vec<RecordBuf>) {
+fn parse_records(
+    dfa: &Dfa,
+    input: &[u8],
+    start: usize,
+    chunk_end: usize,
+    out: &mut Vec<RecordBuf>,
+) {
     let mut state = dfa.start_state();
     let mut fields: Vec<Option<Vec<u8>>> = Vec::new();
     let mut cur: Option<Vec<u8>> = None;
@@ -323,13 +329,7 @@ mod tests {
                 format!("{i},\"review text\nwith embedded newline, and comma\"\n").as_bytes(),
             );
         }
-        let p = InstantLoadingParser::new(
-            dfa(),
-            Grid::new(3),
-            8,
-            InstantLoadingMode::Unsafe,
-            None,
-        );
+        let p = InstantLoadingParser::new(dfa(), Grid::new(3), 8, InstantLoadingMode::Unsafe, None);
         let out = p.parse(&input).unwrap();
         let reference = parse_csv(&input, ParserOptions::default()).unwrap();
         let wrong_count = out.table.num_rows() != reference.table.num_rows();
@@ -363,8 +363,13 @@ mod tests {
         let input = simple_input(37);
         let reference = parse_csv(&input, ParserOptions::default()).unwrap();
         for chunks in [1usize, 2, 5, 16, 64] {
-            let p =
-                InstantLoadingParser::new(dfa(), Grid::new(2), chunks, InstantLoadingMode::Safe, None);
+            let p = InstantLoadingParser::new(
+                dfa(),
+                Grid::new(2),
+                chunks,
+                InstantLoadingMode::Safe,
+                None,
+            );
             let out = p.parse(&input).unwrap();
             assert_eq!(out.table, reference.table, "chunks={chunks}");
         }

@@ -82,7 +82,12 @@ impl QuoteParityParser {
 
         // Phase 1: per-chunk quote parity, then the one-bit scan.
         let parities: Vec<bool> = self.grid.map_indexed(n_chunks, |c| {
-            input[ranges[c].clone()].iter().filter(|&&b| b == b'"').count() % 2 == 1
+            input[ranges[c].clone()]
+                .iter()
+                .filter(|&&b| b == b'"')
+                .count()
+                % 2
+                == 1
         });
         let in_quote_at_start = exclusive_scan(&self.grid, &parities, &XorOp);
 
@@ -167,7 +172,10 @@ impl QuoteParityParser {
             }
             let field = match &self.schema {
                 Some(s) => s.fields[raw_c].clone(),
-                None => Field::new(&format!("c{raw_c}"), infer_column_type(&self.grid, &css, &index)),
+                None => Field::new(
+                    &format!("c{raw_c}"),
+                    infer_column_type(&self.grid, &css, &index),
+                ),
             };
             let out = convert_column(
                 &self.grid,
@@ -182,8 +190,8 @@ impl QuoteParityParser {
             columns.push(out.column);
             fields_meta.push(field);
         }
-        let table = Table::new(Schema::new(fields_meta), columns)
-            .expect("columns sized to record count");
+        let table =
+            Table::new(Schema::new(fields_meta), columns).expect("columns sized to record count");
 
         let mut profile = WorkProfile::new("quote-parity");
         profile.kernel_launches = 3;
@@ -207,7 +215,9 @@ mod tests {
     use parparaw_dfa::csv::{rfc4180, CsvDialect};
 
     fn parity(input: &[u8]) -> QuoteParityOutput {
-        QuoteParityParser::new(Grid::new(3), 7, None).parse(input).unwrap()
+        QuoteParityParser::new(Grid::new(3), 7, None)
+            .parse(input)
+            .unwrap()
     }
 
     #[test]

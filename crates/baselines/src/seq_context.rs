@@ -57,8 +57,7 @@ impl SeqContextGpuParser {
         let dfa = self.inner.dfa();
         let chunk_size = self.inner.options().chunk_size;
         let t0 = Instant::now();
-        let mut start_states =
-            Vec::with_capacity(input.len().div_ceil(chunk_size.max(1)));
+        let mut start_states = Vec::with_capacity(input.len().div_ceil(chunk_size.max(1)));
         let mut state = dfa.start_state();
         for (i, &b) in input.iter().enumerate() {
             if i % chunk_size == 0 {

@@ -88,8 +88,7 @@ impl SequentialParser {
             }
         }
         // Trailing record: only if it has any data or field delimiter.
-        if cur_field.is_some() || saw_anything && !cur.fields.is_empty() || !cur.fields.is_empty()
-        {
+        if cur_field.is_some() || saw_anything && !cur.fields.is_empty() || !cur.fields.is_empty() {
             cur.fields.push(cur_field.take());
             records.push(cur);
         }
@@ -129,9 +128,7 @@ impl SequentialParser {
         let num_rows = kept.len();
         let mut rejected = Bitmap::new(num_rows);
         for (row, r) in kept.iter().enumerate() {
-            if r.rejected
-                || (o.validate_column_count && r.fields.len() != num_raw_cols)
-            {
+            if r.rejected || (o.validate_column_count && r.fields.len() != num_raw_cols) {
                 rejected.set(row);
             }
         }
@@ -236,16 +233,23 @@ mod tests {
         for input in inputs {
             let s = seq(input);
             let p = parse_csv(input, ParserOptions::default()).unwrap();
-            assert_eq!(s.table, p.table, "input {:?}", String::from_utf8_lossy(input));
+            assert_eq!(
+                s.table,
+                p.table,
+                "input {:?}",
+                String::from_utf8_lossy(input)
+            );
             assert_eq!(s.rejected, p.rejected);
         }
     }
 
     #[test]
     fn honours_skip_and_selection() {
-        let mut o = ParserOptions::default();
-        o.skip_records = [1u64].into_iter().collect();
-        o.selected_columns = Some(vec![0, 2]);
+        let o = ParserOptions {
+            skip_records: [1u64].into_iter().collect(),
+            selected_columns: Some(vec![0, 2]),
+            ..ParserOptions::default()
+        };
         let s = SequentialParser::new(rfc4180(&CsvDialect::default()), o.clone())
             .parse(b"a,b,c\nd,e,f\ng,h,i\n")
             .unwrap();
@@ -257,12 +261,14 @@ mod tests {
 
     #[test]
     fn validation_matches() {
-        let mut o = ParserOptions::default();
-        o.schema = Some(Schema::new(vec![
-            Field::new("a", DataType::Int64),
-            Field::new("b", DataType::Int64),
-        ]));
-        o.validate_column_count = true;
+        let o = ParserOptions {
+            schema: Some(Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Int64),
+            ])),
+            validate_column_count: true,
+            ..ParserOptions::default()
+        };
         let input: &[u8] = b"1,2\n3\n4,5,6\n7,8";
         let s = SequentialParser::new(rfc4180(&CsvDialect::default()), o.clone())
             .parse(input)

@@ -1,64 +1,76 @@
 //! Ablation benchmarks for the design choices called out in DESIGN.md:
 //! scan variants, SWAR vs naive symbol matching, MFIRA vs plain arrays,
-//! tagging-mode payload width, and pass-1 chunk-size sensitivity.
+//! radix digit count, and pass-1 chunk-size sensitivity.
+//!
+//! Plain `main()` with `std` timing — run with
+//! `cargo bench -p parparaw-bench --bench ablations`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use parparaw_bench::{bench_ms, report};
 use parparaw_dfa::csv::rfc4180_paper;
 use parparaw_dfa::{Mfira, SwarMatcher};
 use parparaw_parallel::lookback::exclusive_scan_lookback;
 use parparaw_parallel::scan::{exclusive_scan, exclusive_scan_seq, AddOp};
 use parparaw_parallel::Grid;
+use std::hint::black_box;
 
-fn ablate_scan(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_scan");
-    g.sample_size(20);
+fn main() {
+    let mut rows = Vec::new();
+    let mut push = |group: &str, name: &str, ms: f64| {
+        rows.push(vec![group.to_string(), name.to_string(), report::ms(ms)]);
+    };
+
+    // Scan variants.
     let xs: Vec<u64> = (0..1_000_000u64).map(|i| i % 97).collect();
     let grid = Grid::new(4);
-    g.bench_function("sequential", |b| {
-        b.iter(|| exclusive_scan_seq(black_box(&xs), &AddOp))
-    });
-    g.bench_function("blocked", |b| {
-        b.iter(|| exclusive_scan(&grid, black_box(&xs), &AddOp))
-    });
-    g.bench_function("decoupled_lookback", |b| {
-        b.iter(|| exclusive_scan_lookback(&grid, black_box(&xs), &AddOp, 4096))
-    });
-    g.finish();
-}
+    push(
+        "scan",
+        "sequential",
+        bench_ms(10, || exclusive_scan_seq(&xs, &AddOp)),
+    );
+    push(
+        "scan",
+        "blocked",
+        bench_ms(10, || exclusive_scan(&grid, &xs, &AddOp)),
+    );
+    push(
+        "scan",
+        "decoupled_lookback",
+        bench_ms(10, || exclusive_scan_lookback(&grid, &xs, &AddOp, 4096)),
+    );
 
-fn ablate_matcher(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_matcher");
-    g.sample_size(20);
+    // Symbol matching: table lookup vs SWAR.
     let dfa = rfc4180_paper();
     let symbols: Vec<(u8, u8)> = dfa.symbol_groups().symbols().to_vec();
     let swar = SwarMatcher::new(&symbols, dfa.symbol_groups().catch_all());
     let data: Vec<u8> = (0..65_536u32).map(|i| (i * 131 % 251) as u8).collect();
-    g.bench_function("lut", |b| {
-        b.iter(|| {
+    push(
+        "matcher",
+        "lut",
+        bench_ms(10, || {
             let mut acc = 0u32;
-            for &byte in black_box(&data) {
-                acc = acc.wrapping_add(dfa.group_of(byte) as u32);
+            for &byte in &data {
+                acc = acc.wrapping_add(dfa.group_of(black_box(byte)) as u32);
             }
             acc
-        })
-    });
-    g.bench_function("swar", |b| {
-        b.iter(|| {
+        }),
+    );
+    push(
+        "matcher",
+        "swar",
+        bench_ms(10, || {
             let mut acc = 0u32;
-            for &byte in black_box(&data) {
-                acc = acc.wrapping_add(swar.group_of(byte) as u32);
+            for &byte in &data {
+                acc = acc.wrapping_add(swar.group_of(black_box(byte)) as u32);
             }
             acc
-        })
-    });
-    g.finish();
-}
+        }),
+    );
 
-fn ablate_mfira(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_mfira");
-    g.sample_size(20);
-    g.bench_function("mfira_6x4bit", |b| {
-        b.iter(|| {
+    // MFIRA vs a plain array.
+    push(
+        "mfira",
+        "mfira_6x4bit",
+        bench_ms(10, || {
             let mut arr = Mfira::new(6, 4);
             for i in 0..6u32 {
                 arr.set(i, (i * 3) % 16);
@@ -70,13 +82,15 @@ fn ablate_mfira(c: &mut Criterion) {
                 }
             }
             acc
-        })
-    });
-    g.bench_function("vec_6xu8", |b| {
-        b.iter(|| {
+        }),
+    );
+    push(
+        "mfira",
+        "vec_6xu8",
+        bench_ms(10, || {
             let mut arr = [0u8; 6];
-            for i in 0..6usize {
-                arr[i] = ((i * 3) % 16) as u8;
+            for (i, slot) in arr.iter_mut().enumerate() {
+                *slot = ((i * 3) % 16) as u8;
             }
             let mut acc = 0u32;
             for _ in 0..64 {
@@ -85,84 +99,48 @@ fn ablate_mfira(c: &mut Criterion) {
                 }
             }
             acc
-        })
-    });
-    g.finish();
-}
+        }),
+    );
 
-fn ablate_pass1_chunk_size(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_pass1_chunk");
-    g.sample_size(10);
-    let data = parparaw_workloads::taxi::generate(1 << 20, 3);
-    let dfa = rfc4180_paper();
-    let grid = Grid::new(2);
+    // Pass-1 chunk-size sensitivity.
+    let input = parparaw_workloads::taxi::generate(1 << 20, 3);
+    let grid2 = Grid::new(2);
     for cs in [4usize, 31, 256] {
-        g.bench_with_input(BenchmarkId::from_parameter(cs), &cs, |b, &cs| {
-            b.iter(|| {
-                parparaw_core::context::determine_contexts(&grid, &dfa, black_box(&data), cs)
-                    .final_state
-            })
-        });
+        push(
+            "pass1_chunk",
+            &cs.to_string(),
+            bench_ms(5, || {
+                parparaw_core::context::determine_contexts(&grid2, &dfa, &input, cs).final_state
+            }),
+        );
     }
-    g.finish();
-}
 
-fn ablate_radix(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_radix");
-    g.sample_size(10);
-    let grid = Grid::new(2);
+    // Radix digit count: one pass vs four.
+    let grid3 = Grid::new(2);
     let n = 1_000_000usize;
     let keys: Vec<u32> = (0..n as u32).map(|i| i * 2654435761 % 17).collect();
     let vals: Vec<(u8, u32)> = (0..n).map(|i| ((i % 251) as u8, i as u32)).collect();
-    // One digit (17 columns) vs forcing two digits via a huge domain.
-    g.bench_function("one_digit_pass", |b| {
-        b.iter(|| {
+    push(
+        "radix",
+        "one_digit_pass",
+        bench_ms(5, || {
             let mut k = keys.clone();
             let mut v = vals.clone();
-            parparaw_parallel::radix::sort_pairs_by_key(&grid, &mut k, &mut v, 16, 8);
+            parparaw_parallel::radix::sort_pairs_by_key(&grid3, &mut k, &mut v, 16, 8);
             k[0]
-        })
-    });
-    g.bench_function("four_digit_passes", |b| {
-        b.iter(|| {
+        }),
+    );
+    push(
+        "radix",
+        "four_digit_passes",
+        bench_ms(5, || {
             let mut k = keys.clone();
             let mut v = vals.clone();
-            parparaw_parallel::radix::sort_pairs_by_key(
-                &grid,
-                &mut k,
-                &mut v,
-                u32::MAX,
-                8,
-            );
+            parparaw_parallel::radix::sort_pairs_by_key(&grid3, &mut k, &mut v, u32::MAX, 8);
             k[0]
-        })
-    });
-    g.finish();
-}
+        }),
+    );
 
-fn ablate_rle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_rle");
-    g.sample_size(10);
-    let grid = Grid::new(2);
-    // Long runs (yelp-like text columns) vs short runs (taxi-like).
-    let long: Vec<u32> = (0..1_000_000u32).map(|i| i / 700).collect();
-    let short: Vec<u32> = (0..1_000_000u32).map(|i| i / 5).collect();
-    g.bench_function("long_runs", |b| {
-        b.iter(|| parparaw_parallel::rle::run_length_encode(&grid, black_box(&long)).values.len())
-    });
-    g.bench_function("short_runs", |b| {
-        b.iter(|| parparaw_parallel::rle::run_length_encode(&grid, black_box(&short)).values.len())
-    });
-    g.finish();
+    println!("ablations");
+    println!("{}", report::table(&["group", "variant", "ms"], &rows));
 }
-
-criterion_group!(
-    benches,
-    ablate_scan,
-    ablate_matcher,
-    ablate_mfira,
-    ablate_pass1_chunk_size,
-    ablate_radix,
-    ablate_rle
-);
-criterion_main!(benches);

@@ -1,36 +1,36 @@
-//! Criterion wrapper for Figure 9: full-pipeline duration at the paper's
+//! Bench target for Figure 9: full-pipeline duration at the paper's
 //! chunk-size sweep points (reduced set to keep bench time sane).
+//!
+//! Plain `main()` with `std` timing — run with
+//! `cargo bench -p parparaw-bench --bench fig09_chunk_size [-- --bytes 2M]`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use parparaw_bench::datasets::Dataset;
+use parparaw_bench::{arg_size, bench_ms, report};
 use parparaw_core::{parse_csv, ParserOptions};
 use parparaw_parallel::Grid;
 
-fn fig09(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig09_chunk_size");
-    g.sample_size(10);
+fn main() {
+    let bytes = arg_size("--bytes", 2 << 20);
+    let mut rows = Vec::new();
     for dataset in Dataset::ALL {
-        let data = dataset.generate(2 << 20);
+        let data = dataset.generate(bytes);
         for cs in [4usize, 31, 64] {
-            g.bench_with_input(
-                BenchmarkId::new(dataset.short(), cs),
-                &cs,
-                |b, &cs| {
-                    b.iter(|| {
-                        let opts = ParserOptions {
-                            grid: Grid::new(2),
-                            schema: Some(dataset.schema()),
-                            ..ParserOptions::default()
-                        }
-                        .chunk_size(cs);
-                        parse_csv(black_box(&data), opts).unwrap().stats.num_records
-                    })
-                },
-            );
+            let ms = bench_ms(5, || {
+                let opts = ParserOptions {
+                    grid: Grid::new(2),
+                    schema: Some(dataset.schema()),
+                    ..ParserOptions::default()
+                }
+                .chunk_size(cs);
+                parse_csv(&data, opts).unwrap().stats.num_records
+            });
+            rows.push(vec![
+                dataset.short().to_string(),
+                cs.to_string(),
+                report::ms(ms),
+            ]);
         }
     }
-    g.finish();
+    println!("fig09 chunk-size sweep ({bytes} bytes per dataset)");
+    println!("{}", report::table(&["dataset", "chunk", "ms"], &rows));
 }
-
-criterion_group!(benches, fig09);
-criterion_main!(benches);

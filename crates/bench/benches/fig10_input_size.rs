@@ -1,37 +1,41 @@
-//! Criterion wrapper for Figure 10: pipeline throughput vs input size.
+//! Bench target for Figure 10: pipeline throughput vs input size.
+//!
+//! Plain `main()` with `std` timing — run with
+//! `cargo bench -p parparaw-bench --bench fig10_input_size [-- --bytes 4M]`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use parparaw_bench::datasets::Dataset;
+use parparaw_bench::{arg_size, bench_ms, report};
 use parparaw_core::{parse_csv, ParserOptions};
 use parparaw_parallel::Grid;
 
-fn fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_input_size");
-    g.sample_size(10);
+fn main() {
+    let max = arg_size("--bytes", 4 << 20);
+    let mut rows = Vec::new();
     for dataset in Dataset::ALL {
-        let data = dataset.generate(4 << 20);
-        for mb in [1usize, 4] {
-            let bytes = mb << 20;
-            g.throughput(Throughput::Bytes(bytes as u64));
-            g.bench_with_input(
-                BenchmarkId::new(dataset.short(), mb),
-                &bytes,
-                |b, &bytes| {
-                    let slice = &data[..bytes.min(data.len())];
-                    b.iter(|| {
-                        let opts = ParserOptions {
-                            grid: Grid::new(2),
-                            schema: Some(dataset.schema()),
-                            ..ParserOptions::default()
-                        };
-                        parse_csv(black_box(slice), opts).unwrap().stats.num_records
-                    })
-                },
-            );
+        let mut size = 64 << 10;
+        while size <= max {
+            let data = dataset.generate(size);
+            let ms = bench_ms(5, || {
+                let opts = ParserOptions {
+                    grid: Grid::new(2),
+                    schema: Some(dataset.schema()),
+                    ..ParserOptions::default()
+                };
+                parse_csv(&data, opts).unwrap().stats.num_records
+            });
+            let gbps = data.len() as f64 / 1e6 / ms;
+            rows.push(vec![
+                dataset.short().to_string(),
+                size.to_string(),
+                report::ms(ms),
+                report::rate(gbps),
+            ]);
+            size <<= 2;
         }
     }
-    g.finish();
+    println!("fig10 input-size sweep (wall time on this host)");
+    println!(
+        "{}",
+        report::table(&["dataset", "bytes", "ms", "GB/s"], &rows)
+    );
 }
-
-criterion_group!(benches, fig10);
-criterion_main!(benches);

@@ -1,54 +1,35 @@
-//! Criterion wrapper for Figure 11: tagging-mode cost plus skew robustness.
+//! Bench target for Figure 11: tagging-mode cost on a constant-width
+//! dataset (the skew series comes from the `fig11` binary).
+//!
+//! Plain `main()` with `std` timing — run with
+//! `cargo bench -p parparaw-bench --bench fig11_tagging_modes [-- --bytes 2M]`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use parparaw_bench::datasets::Dataset;
+use parparaw_bench::{arg_size, bench_ms, report};
 use parparaw_core::{parse_csv, ParserOptions, TaggingMode};
 use parparaw_parallel::Grid;
 
-fn fig11(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11_tagging_modes");
-    g.sample_size(10);
-    for dataset in Dataset::ALL {
-        let data = dataset.generate(2 << 20);
-        for (name, mode) in [
-            ("tagged", TaggingMode::RecordTagged),
-            ("inline", TaggingMode::inline_default()),
-            ("delimited", TaggingMode::VectorDelimited),
-        ] {
-            g.bench_with_input(
-                BenchmarkId::new(dataset.short(), name),
-                &mode,
-                |b, &mode| {
-                    b.iter(|| {
-                        let opts = ParserOptions {
-                            grid: Grid::new(2),
-                            schema: Some(dataset.schema()),
-                            tagging: mode,
-                            ..ParserOptions::default()
-                        };
-                        parse_csv(black_box(&data), opts).unwrap().stats.num_records
-                    })
-                },
-            );
-        }
-    }
-    // Skew robustness: same bytes, one giant record.
-    let original = parparaw_workloads::yelp::generate(2 << 20, 0xE11A5);
-    let skewed = parparaw_workloads::skewed::yelp_skewed(1 << 20, 1 << 20, 0xE11A5);
-    for (name, data) in [("original", &original), ("skewed", &skewed)] {
-        g.bench_function(BenchmarkId::new("skew", name), |b| {
-            b.iter(|| {
-                let opts = ParserOptions {
-                    grid: Grid::new(2),
-                    schema: Some(parparaw_workloads::yelp::schema()),
-                    ..ParserOptions::default()
-                };
-                parse_csv(black_box(data.as_slice()), opts).unwrap().stats.num_records
-            })
+fn main() {
+    let bytes = arg_size("--bytes", 2 << 20);
+    let dataset = Dataset::Taxi; // constant column count: all modes legal
+    let data = dataset.generate(bytes);
+    let mut rows = Vec::new();
+    for (name, mode) in [
+        ("record-tagged", TaggingMode::RecordTagged),
+        ("inline", TaggingMode::inline_default()),
+        ("vector", TaggingMode::VectorDelimited),
+    ] {
+        let ms = bench_ms(5, || {
+            let opts = ParserOptions {
+                grid: Grid::new(2),
+                schema: Some(dataset.schema()),
+                tagging: mode,
+                ..ParserOptions::default()
+            };
+            parse_csv(&data, opts).unwrap().stats.num_records
         });
+        rows.push(vec![name.to_string(), report::ms(ms)]);
     }
-    g.finish();
+    println!("fig11 tagging modes ({bytes} bytes, {})", dataset.short());
+    println!("{}", report::table(&["mode", "ms"], &rows));
 }
-
-criterion_group!(benches, fig11);
-criterion_main!(benches);

@@ -1,44 +1,42 @@
-//! Criterion wrapper for Figure 12: streamed parse at different partition
+//! Bench target for Figure 12: streamed parse at different partition
 //! sizes (wall time of the threaded executor; the simulated end-to-end
 //! series comes from the `fig12` binary).
+//!
+//! Plain `main()` with `std` timing — run with
+//! `cargo bench -p parparaw-bench --bench fig12_partition_size [-- --bytes 4M]`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use parparaw_bench::datasets::Dataset;
+use parparaw_bench::{arg_size, bench_ms, report};
 use parparaw_core::{Parser, ParserOptions};
 use parparaw_dfa::csv::{rfc4180, CsvDialect};
 use parparaw_parallel::Grid;
 
-fn fig12(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12_partition_size");
-    g.sample_size(10);
+fn main() {
+    let bytes = arg_size("--bytes", 4 << 20);
+    let mut rows = Vec::new();
     for dataset in Dataset::ALL {
-        let data = dataset.generate(2 << 20);
-        let parser = Parser::new(
-            rfc4180(&CsvDialect::default()),
-            ParserOptions {
-                grid: Grid::new(2),
-                schema: Some(dataset.schema()),
-                ..ParserOptions::default()
-            },
-        );
-        for kb in [256usize, 1024] {
-            g.bench_with_input(
-                BenchmarkId::new(dataset.short(), kb),
-                &(kb << 10),
-                |b, &ps| {
-                    b.iter(|| {
-                        parser
-                            .parse_stream(black_box(&data), ps)
-                            .unwrap()
-                            .table
-                            .num_rows()
-                    })
-                },
-            );
+        let data = dataset.generate(bytes);
+        let opts = ParserOptions {
+            grid: Grid::new(2),
+            schema: Some(dataset.schema()),
+            ..ParserOptions::default()
+        };
+        let parser = Parser::new(rfc4180(&CsvDialect::default()), opts);
+        for partition in [64 << 10, 256 << 10, 1 << 20] {
+            let ms = bench_ms(3, || {
+                parser
+                    .parse_stream(&data, partition)
+                    .unwrap()
+                    .table
+                    .num_rows()
+            });
+            rows.push(vec![
+                dataset.short().to_string(),
+                partition.to_string(),
+                report::ms(ms),
+            ]);
         }
     }
-    g.finish();
+    println!("fig12 partition-size sweep ({bytes} bytes per dataset)");
+    println!("{}", report::table(&["dataset", "partition", "ms"], &rows));
 }
-
-criterion_group!(benches, fig12);
-criterion_main!(benches);

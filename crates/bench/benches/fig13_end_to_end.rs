@@ -1,54 +1,68 @@
-//! Criterion wrapper for Figure 13: wall time of every system on the same
+//! Bench target for Figure 13: wall time of every system on the same
 //! input (the simulated end-to-end series comes from the `fig13` binary).
+//!
+//! Plain `main()` with `std` timing — run with
+//! `cargo bench -p parparaw-bench --bench fig13_end_to_end [-- --bytes 2M]`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use parparaw_baselines::{
-    InstantLoadingMode, InstantLoadingParser, QuoteParityParser, SequentialParser,
+    InstantLoadingMode, InstantLoadingParser, SeqContextGpuParser, SequentialParser,
 };
 use parparaw_bench::datasets::Dataset;
+use parparaw_bench::{arg_size, bench_ms, report};
 use parparaw_core::{Parser, ParserOptions};
 use parparaw_dfa::csv::{rfc4180, CsvDialect};
 use parparaw_parallel::Grid;
 
-fn fig13(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig13_end_to_end");
-    g.sample_size(10);
-    // Taxi only in the wall benches: unsafe instant loading would corrupt
-    // (and crawl on) the yelp-like input, which the fig13 binary reports.
+fn main() {
+    let bytes = arg_size("--bytes", 2 << 20);
     let dataset = Dataset::Taxi;
-    let data = dataset.generate(2 << 20);
-    let schema = dataset.schema();
+    let data = dataset.generate(bytes);
     let dfa = rfc4180(&CsvDialect::default());
     let opts = ParserOptions {
         grid: Grid::new(2),
-        schema: Some(schema.clone()),
+        schema: Some(dataset.schema()),
         ..ParserOptions::default()
     };
 
-    g.bench_function(BenchmarkId::new("parparaw", "taxi"), |b| {
-        let parser = Parser::new(dfa.clone(), opts.clone());
-        b.iter(|| parser.parse(black_box(&data)).unwrap().stats.num_records)
-    });
-    g.bench_function(BenchmarkId::new("instant_safe", "taxi"), |b| {
-        let parser = InstantLoadingParser::new(
-            dfa.clone(),
-            Grid::new(2),
-            32,
-            InstantLoadingMode::Safe,
-            Some(schema.clone()),
-        );
-        b.iter(|| parser.parse(black_box(&data)).unwrap().table.num_rows())
-    });
-    g.bench_function(BenchmarkId::new("sequential", "taxi"), |b| {
-        let parser = SequentialParser::new(dfa.clone(), opts.clone());
-        b.iter(|| parser.parse(black_box(&data)).unwrap().table.num_rows())
-    });
-    g.bench_function(BenchmarkId::new("quote_parity", "taxi"), |b| {
-        let parser = QuoteParityParser::new(Grid::new(2), 4096, Some(schema.clone()));
-        b.iter(|| parser.parse(black_box(&data)).unwrap().table.num_rows())
-    });
-    g.finish();
-}
+    let mut rows = Vec::new();
+    let parparaw = Parser::new(dfa.clone(), opts.clone());
+    rows.push(vec![
+        "parparaw".to_string(),
+        report::ms(bench_ms(3, || {
+            parparaw.parse(&data).unwrap().stats.num_records
+        })),
+    ]);
+    let seq_ctx = SeqContextGpuParser::new(dfa.clone(), opts.clone());
+    rows.push(vec![
+        "seq-context".to_string(),
+        report::ms(bench_ms(3, || {
+            seq_ctx.parse(&data).unwrap().output.stats.num_records
+        })),
+    ]);
+    let instant = InstantLoadingParser::new(
+        dfa.clone(),
+        Grid::new(2),
+        32,
+        InstantLoadingMode::Safe,
+        Some(dataset.schema()),
+    );
+    rows.push(vec![
+        "instant-safe".to_string(),
+        report::ms(bench_ms(3, || {
+            instant.parse(&data).unwrap().table.num_rows()
+        })),
+    ]);
+    let sequential = SequentialParser::new(dfa, opts);
+    rows.push(vec![
+        "sequential".to_string(),
+        report::ms(bench_ms(3, || {
+            sequential.parse(&data).unwrap().table.num_rows()
+        })),
+    ]);
 
-criterion_group!(benches, fig13);
-criterion_main!(benches);
+    println!(
+        "fig13 end-to-end wall time ({bytes} bytes, {})",
+        dataset.short()
+    );
+    println!("{}", report::table(&["system", "ms"], &rows));
+}

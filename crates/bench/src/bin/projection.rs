@@ -47,8 +47,7 @@ fn main() {
             let model = CostModel::new(device.clone());
             let par =
                 SimulatedTimings::from_profiles(&model, &parparaw.profiles, data.len() as u64);
-            let seq =
-                SimulatedTimings::from_profiles(&model, &seq_ctx.profiles, data.len() as u64);
+            let seq = SimulatedTimings::from_profiles(&model, &seq_ctx.profiles, data.len() as u64);
             rows.push(vec![
                 device.name.clone(),
                 device.cores().to_string(),

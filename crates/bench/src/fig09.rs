@@ -70,7 +70,7 @@ pub fn run(dataset: Dataset, bytes: usize, workers: usize) -> Vec<Row> {
 pub fn print(dataset: Dataset, rows: &[Row]) -> String {
     let phases = ["convert", "scan", "partition", "parse", "tag"];
     let mut headers = vec!["chunk", "sim total"];
-    headers.extend(phases.iter().map(|p| *p));
+    headers.extend(phases.iter().copied());
     headers.push("wall total");
     let table_rows: Vec<Vec<String>> = rows
         .iter()

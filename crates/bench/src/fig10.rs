@@ -70,7 +70,10 @@ pub fn print(dataset: Dataset, rows: &[Row]) -> String {
     format!(
         "Figure 10 ({}): parsing rate vs input size\n{}",
         dataset.name(),
-        report::table(&["input (MB)", "sim rate (GB/s)", "wall rate (MB/s)"], &table_rows)
+        report::table(
+            &["input (MB)", "sim rate (GB/s)", "wall rate (MB/s)"],
+            &table_rows
+        )
     )
 }
 

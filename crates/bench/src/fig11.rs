@@ -83,8 +83,11 @@ pub struct SkewRow {
 /// single giant record (`giant_bytes` of text).
 pub fn run_skew(bytes: usize, giant_bytes: usize, workers: usize) -> Vec<SkewRow> {
     let original = parparaw_workloads::yelp::generate(bytes, 0xE11A5);
-    let skewed =
-        parparaw_workloads::skewed::yelp_skewed(bytes.saturating_sub(giant_bytes), giant_bytes, 0xE11A5);
+    let skewed = parparaw_workloads::skewed::yelp_skewed(
+        bytes.saturating_sub(giant_bytes),
+        giant_bytes,
+        0xE11A5,
+    );
     let schema = parparaw_workloads::yelp::schema();
     [("original", original), ("skewed", skewed)]
         .into_iter()

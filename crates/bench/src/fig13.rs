@@ -89,7 +89,9 @@ pub fn run(dataset: Dataset, bytes: usize, workers: usize) -> Vec<Row> {
     let mut rows = Vec::new();
 
     // Reference output for correctness checks.
-    let reference = Parser::new(dfa.clone(), opts()).parse(&data).expect("parses");
+    let reference = Parser::new(dfa.clone(), opts())
+        .parse(&data)
+        .expect("parses");
     let ref_rows = reference.table.num_rows();
 
     // ParPaRaw: streamed end-to-end on the simulated device.
@@ -106,12 +108,8 @@ pub fn run(dataset: Dataset, bytes: usize, workers: usize) -> Vec<Row> {
         // amortises.
         let part_bytes: u64 = 128 << 20;
         let n_parts = paper_bytes(dataset).div_ceil(part_bytes) as usize;
-        let parse_seconds = scaled_seconds(
-            &gpu,
-            &reference.profiles,
-            data.len() as u64,
-            part_bytes,
-        );
+        let parse_seconds =
+            scaled_seconds(&gpu, &reference.profiles, data.len() as u64, part_bytes);
         let out_per_part =
             (reference.stats.output_bytes as f64 * part_bytes as f64 / data.len() as f64) as u64;
         let plan = StreamingPlan {
@@ -219,9 +217,7 @@ pub fn print(dataset: Dataset, bytes: usize, rows: &[Row]) -> String {
                 r.system.to_string(),
                 r.sim_s.map(report::secs).unwrap_or_else(|| "×".into()),
                 report::secs(r.wall_s),
-                r.sim_full_s
-                    .map(report::secs)
-                    .unwrap_or_else(|| "×".into()),
+                r.sim_full_s.map(report::secs).unwrap_or_else(|| "×".into()),
             ]
         })
         .collect();

@@ -31,7 +31,24 @@ pub fn parse_size(s: &str) -> Option<usize> {
         'g' | 'G' => (&s[..s.len() - 1], 1usize << 30),
         _ => (s, 1),
     };
-    num.trim().parse::<f64>().ok().map(|v| (v * mult as f64) as usize)
+    num.trim()
+        .parse::<f64>()
+        .ok()
+        .map(|v| (v * mult as f64) as usize)
+}
+
+/// Time `f` over `reps` repetitions and return the best wall-clock
+/// milliseconds — the plain-`std` replacement for an external bench
+/// harness. Best-of (not mean) because scheduler noise only ever adds
+/// time.
+pub fn bench_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
 }
 
 /// Read `--bytes`/`--workers` style flags from `std::env::args`.

@@ -282,7 +282,6 @@ impl Column {
     }
 }
 
-
 fn data_len(data: &ColumnData) -> usize {
     match data {
         ColumnData::Boolean(v) => v.len(),

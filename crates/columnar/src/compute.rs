@@ -219,8 +219,7 @@ pub fn take(column: &Column, rows: &[usize]) -> Column {
             let mut new_values = Vec::new();
             new_offsets.push(0u64);
             for &r in rows {
-                new_values
-                    .extend_from_slice(&values[offsets[r] as usize..offsets[r + 1] as usize]);
+                new_values.extend_from_slice(&values[offsets[r] as usize..offsets[r + 1] as usize]);
                 new_offsets.push(new_values.len() as u64);
             }
             ColumnData::Utf8 {

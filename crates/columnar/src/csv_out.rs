@@ -110,10 +110,7 @@ mod tests {
     fn writes_quoting_only_when_needed() {
         let csv = write_csv(&sample(), &CsvWriteOptions::default());
         let text = String::from_utf8(csv).unwrap();
-        assert_eq!(
-            text,
-            "1,plain\n2,\"with, comma\nand \"\"quotes\"\"\"\n,x\n"
-        );
+        assert_eq!(text, "1,plain\n2,\"with, comma\nand \"\"quotes\"\"\"\n,x\n");
     }
 
     #[test]

@@ -177,7 +177,9 @@ pub fn read_table(bytes: &[u8]) -> Result<Table, IpcError> {
     }
     let version = r.u16()?;
     if version != VERSION {
-        return Err(IpcError::BadHeader(format!("unsupported version {version}")));
+        return Err(IpcError::BadHeader(format!(
+            "unsupported version {version}"
+        )));
     }
     let ncols = r.u32()? as usize;
     let nrows = r.u64()? as usize;
@@ -215,9 +217,7 @@ pub fn read_table(bytes: &[u8]) -> Result<Table, IpcError> {
             None
         };
         let data = read_buffers(&mut r, dtype, nrows)?;
-        columns.push(
-            Column::new(data, validity).map_err(IpcError::Corrupt)?,
-        );
+        columns.push(Column::new(data, validity).map_err(IpcError::Corrupt)?);
         fields.push(Field::new(&name, dtype));
     }
     Table::new(Schema::new(fields), columns).map_err(IpcError::Corrupt)
@@ -317,10 +317,7 @@ mod tests {
     fn rejects_truncation_anywhere() {
         let bytes = write_table(&sample());
         for cut in [3usize, 10, 20, bytes.len() / 2, bytes.len() - 1] {
-            assert!(
-                read_table(&bytes[..cut]).is_err(),
-                "cut at {cut} must fail"
-            );
+            assert!(read_table(&bytes[..cut]).is_err(), "cut at {cut} must fail");
         }
     }
 

@@ -218,11 +218,7 @@ mod tests {
         )
         .is_err());
         // Mismatched column count rejected.
-        assert!(Table::new(
-            Schema::new(vec![Field::new("a", DataType::Int64)]),
-            vec![],
-        )
-        .is_err());
+        assert!(Table::new(Schema::new(vec![Field::new("a", DataType::Int64)]), vec![],).is_err());
     }
 
     #[test]

@@ -58,7 +58,13 @@ impl std::fmt::Display for Value {
                     return write!(f, "{sign}{a}");
                 }
                 let scale = 10u128.pow(*s as u32);
-                write!(f, "{sign}{}.{:0width$}", a / scale, a % scale, width = *s as usize)
+                write!(
+                    f,
+                    "{sign}{}.{:0width$}",
+                    a / scale,
+                    a % scale,
+                    width = *s as usize
+                )
             }
             Value::Date32(d) => {
                 let (y, m, dd) = crate::value::days_to_ymd(*d);

@@ -7,13 +7,17 @@
 //! starting state". Reading the entry for the DFA's actual start state
 //! gives each chunk its context — no sequential pass over the input, the
 //! paper's core contribution.
+//!
+//! Both kernels run as instrumented [`KernelExecutor`] launches
+//! (`parse/pass1` and `scan/context`); wall time and work counters land in
+//! the executor's launch log instead of being threaded through the return
+//! value.
 
 use crate::chunks::{chunk_ranges, num_chunks};
 use crate::options::ScanAlgorithm;
-use parparaw_device::WorkProfile;
 use parparaw_dfa::{Dfa, StateVector, VectorComposeOp};
 use parparaw_parallel::scan::ScanOp;
-use parparaw_parallel::{lookback, scan, Grid};
+use parparaw_parallel::{lookback, scan, Grid, KernelExecutor};
 
 /// The result of context determination.
 #[derive(Debug)]
@@ -24,25 +28,19 @@ pub struct ContextPass {
     pub start_states: Vec<u8>,
     /// The DFA state after the whole input — used for validation.
     pub final_state: u8,
-    /// Work profile of the multi-DFA simulation kernel.
-    pub profile_simulate: WorkProfile,
-    /// Work profile of the composite-operator scan.
-    pub profile_scan: WorkProfile,
-    /// Wall time of the simulation kernel.
-    pub simulate_wall: std::time::Duration,
-    /// Wall time of the scan.
-    pub scan_wall: std::time::Duration,
 }
 
 /// Run pass 1 over `input` in chunks of `chunk_size` bytes with the
-/// default blocked scan.
+/// default blocked scan, on a throwaway executor (convenience for tests
+/// and baselines that only need the states, not the launch log).
 pub fn determine_contexts(grid: &Grid, dfa: &Dfa, input: &[u8], chunk_size: usize) -> ContextPass {
-    determine_contexts_with(grid, dfa, input, chunk_size, ScanAlgorithm::Blocked)
+    let exec = KernelExecutor::new(grid.clone());
+    determine_contexts_with(&exec, dfa, input, chunk_size, ScanAlgorithm::Blocked)
 }
 
-/// Run pass 1 with an explicit scan algorithm.
+/// Run pass 1 with an explicit scan algorithm as two executor launches.
 pub fn determine_contexts_with(
-    grid: &Grid,
+    exec: &KernelExecutor,
     dfa: &Dfa,
     input: &[u8],
     chunk_size: usize,
@@ -52,56 +50,49 @@ pub fn determine_contexts_with(
     let ranges: Vec<std::ops::Range<usize>> = chunk_ranges(input.len(), chunk_size).collect();
 
     // Kernel 1: one virtual thread per chunk, |S| DFA instances each.
-    let t0 = std::time::Instant::now();
-    let vectors: Vec<StateVector> =
-        grid.map_indexed(n_chunks, |c| dfa.transition_vector(&input[ranges[c].clone()]));
-    let simulate_wall = t0.elapsed();
-
-    let mut profile_simulate = WorkProfile::new("parse/pass1");
-    profile_simulate.kernel_launches = 1;
-    profile_simulate.bytes_read = input.len() as u64;
-    profile_simulate.bytes_written = (n_chunks * 8) as u64;
-    // One row fetch plus |S| BFE/BFI state updates per input symbol.
-    profile_simulate.parallel_ops = input.len() as u64 * (dfa.num_states() as u64 + 1);
+    let vectors: Vec<StateVector> = exec.launch("parse/pass1", n_chunks, |grid, counters| {
+        counters.bytes_read = input.len() as u64;
+        counters.bytes_written = (n_chunks * 8) as u64;
+        // One row fetch plus |S| BFE/BFI state updates per input symbol.
+        counters.parallel_ops = input.len() as u64 * (dfa.num_states() as u64 + 1);
+        grid.map_indexed(n_chunks, |c| {
+            dfa.transition_vector(&input[ranges[c].clone()])
+        })
+    });
 
     // Exclusive scan with the composite operator.
-    let t1 = std::time::Instant::now();
-    let op = VectorComposeOp::new(dfa.num_states());
-    let (scanned, total) = match algorithm {
-        ScanAlgorithm::Blocked => scan::exclusive_scan_total(grid, &vectors, &op),
-        ScanAlgorithm::DecoupledLookback => {
-            let scanned = lookback::exclusive_scan_lookback(grid, &vectors, &op, 2048);
-            let total = match (scanned.last(), vectors.last()) {
-                (Some(prefix), Some(last)) => op.combine(prefix, last),
-                _ => op.identity(),
-            };
-            (scanned, total)
-        }
-    };
-
     let start = dfa.start_state();
-    let start_states: Vec<u8> = grid.map_indexed(n_chunks, |c| scanned[c].get(start));
-    let scan_wall = t1.elapsed();
-    let final_state = if n_chunks == 0 {
-        start
-    } else {
-        total.get(start)
-    };
+    let (start_states, final_state) = exec.launch("scan/context", n_chunks, |grid, counters| {
+        counters.kernel_launches = 3; // upsweep, spine, downsweep
+        counters.bytes_read = (n_chunks * 8) as u64 * 2;
+        counters.bytes_written = (n_chunks * 8) as u64 + n_chunks as u64;
+        counters.parallel_ops = n_chunks as u64 * dfa.num_states() as u64 * 2;
 
-    let mut profile_scan = WorkProfile::new("scan/context");
-    profile_scan.kernel_launches = 3; // upsweep, spine, downsweep
-    profile_scan.bytes_read = (n_chunks * 8) as u64 * 2;
-    profile_scan.bytes_written = (n_chunks * 8) as u64 + n_chunks as u64;
-    profile_scan.parallel_ops = n_chunks as u64 * dfa.num_states() as u64 * 2;
+        let op = VectorComposeOp::new(dfa.num_states());
+        let (scanned, total) = match algorithm {
+            ScanAlgorithm::Blocked => scan::exclusive_scan_total(grid, &vectors, &op),
+            ScanAlgorithm::DecoupledLookback => {
+                let scanned = lookback::exclusive_scan_lookback(grid, &vectors, &op, 2048);
+                let total = match (scanned.last(), vectors.last()) {
+                    (Some(prefix), Some(last)) => op.combine(prefix, last),
+                    _ => op.identity(),
+                };
+                (scanned, total)
+            }
+        };
+        let start_states: Vec<u8> = grid.map_indexed(n_chunks, |c| scanned[c].get(start));
+        let final_state = if n_chunks == 0 {
+            start
+        } else {
+            total.get(start)
+        };
+        (start_states, final_state)
+    });
 
     ContextPass {
         vectors,
         start_states,
         final_state,
-        profile_simulate,
-        profile_scan,
-        simulate_wall,
-        scan_wall,
     }
 }
 
@@ -185,29 +176,27 @@ mod tests {
             .flat_map(|i| format!("{i},\"q{i},x\"\n").into_bytes())
             .collect();
         for workers in [1usize, 4] {
-            let grid = Grid::new(workers);
-            let blocked =
-                determine_contexts_with(&grid, &dfa, &input, 13, ScanAlgorithm::Blocked);
-            let lb = determine_contexts_with(
-                &grid,
-                &dfa,
-                &input,
-                13,
-                ScanAlgorithm::DecoupledLookback,
-            );
+            let exec = KernelExecutor::new(Grid::new(workers));
+            let blocked = determine_contexts_with(&exec, &dfa, &input, 13, ScanAlgorithm::Blocked);
+            let lb =
+                determine_contexts_with(&exec, &dfa, &input, 13, ScanAlgorithm::DecoupledLookback);
             assert_eq!(blocked.start_states, lb.start_states);
             assert_eq!(blocked.final_state, lb.final_state);
         }
     }
 
     #[test]
-    fn profiles_account_for_input() {
+    fn launch_log_accounts_for_input() {
         let dfa = rfc4180_paper();
-        let grid = Grid::new(1);
+        let exec = KernelExecutor::new(Grid::new(1));
         let input = vec![b'x'; 1000];
-        let ctx = determine_contexts(&grid, &dfa, &input, 31);
-        assert_eq!(ctx.profile_simulate.bytes_read, 1000);
-        assert!(ctx.profile_simulate.parallel_ops >= 6000);
-        assert!(ctx.profile_scan.kernel_launches >= 1);
+        let _ = determine_contexts_with(&exec, &dfa, &input, 31, ScanAlgorithm::Blocked);
+        let log = exec.drain_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].label, "parse/pass1");
+        assert_eq!(log[0].bytes_read, 1000);
+        assert!(log[0].parallel_ops >= 6000);
+        assert_eq!(log[1].label, "scan/context");
+        assert!(log[1].kernel_launches >= 1);
     }
 }

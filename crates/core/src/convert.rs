@@ -319,7 +319,15 @@ pub fn convert_column(
             &mut profile,
         ),
         _ => convert_fixed(
-            grid, css, index, num_rows, dtype, default, rejected, &rejects, &mut profile,
+            grid,
+            css,
+            index,
+            num_rows,
+            dtype,
+            default,
+            rejected,
+            &rejects,
+            &mut profile,
         ),
     };
 
@@ -432,12 +440,9 @@ fn convert_fixed(
                 Some(Value::Int64(i)) => (*i as i128) * 10i128.pow(scale as u32),
                 _ => 0,
             };
-            let data = fixed!(
-                i128,
-                init,
-                |b| parse_decimal(b, scale),
-                |buf| ColumnData::Decimal128(buf, scale)
-            );
+            let data = fixed!(i128, init, |b| parse_decimal(b, scale), |buf| {
+                ColumnData::Decimal128(buf, scale)
+            });
             data
         }
         DataType::Date32 => fixed!(
@@ -521,8 +526,11 @@ fn convert_utf8(
             }
         }
     });
-    let (offsets_excl, total_bytes) =
-        parparaw_parallel::scan::exclusive_scan_total(grid, &lengths, &parparaw_parallel::scan::AddOp);
+    let (offsets_excl, total_bytes) = parparaw_parallel::scan::exclusive_scan_total(
+        grid,
+        &lengths,
+        &parparaw_parallel::scan::AddOp,
+    );
 
     let mut offsets = offsets_excl;
     offsets.push(total_bytes);
@@ -819,16 +827,7 @@ mod tests {
         let (css, idx) = simple_index(&[(b"1", 0), (b"2", 1)]);
         let mut rej = Bitmap::new(2);
         rej.set(1);
-        let out = convert_column(
-            &grid,
-            &css,
-            &idx,
-            2,
-            DataType::Int64,
-            None,
-            &rej,
-            1 << 20,
-        );
+        let out = convert_column(&grid, &css, &idx, 2, DataType::Int64, None, &rej, 1 << 20);
         assert_eq!(out.column.value(1), Value::Null);
         assert_eq!(out.column.value(0), Value::Int64(1));
     }
@@ -851,8 +850,8 @@ mod tests {
         assert_eq!(c.value(0), Value::Utf8("Bookcase".into()));
         assert_eq!(c.value(1), Value::Utf8("Frame".into()));
         assert_eq!(c.value(2), Value::Null); // absent row
-        // Present-but-empty is NULL too: record-tagged mode cannot even
-        // represent an empty field, so all modes agree on NULL.
+                                             // Present-but-empty is NULL too: record-tagged mode cannot even
+                                             // represent an empty field, so all modes agree on NULL.
         assert_eq!(c.value(3), Value::Null);
     }
 
@@ -899,63 +898,121 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use parparaw_parallel::SplitMix64;
 
-    proptest! {
-        #[test]
-        fn i64_matches_std(v in any::<i64>()) {
+    #[test]
+    fn i64_matches_std() {
+        let mut rng = SplitMix64::new(0xC04F_EE01);
+        for _ in 0..512 {
+            let v = rng.next_u64() as i64;
             let s = v.to_string();
-            prop_assert_eq!(parse_i64(s.as_bytes()), Some(v));
+            assert_eq!(parse_i64(s.as_bytes()), Some(v));
         }
+        for v in [0i64, 1, -1, i64::MIN, i64::MAX] {
+            assert_eq!(parse_i64(v.to_string().as_bytes()), Some(v));
+        }
+    }
 
-        #[test]
-        fn i64_rejects_what_std_rejects(s in "[+-]?[0-9a-z.]{0,20}") {
+    #[test]
+    fn i64_rejects_what_std_rejects() {
+        let alphabet: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz.";
+        let mut rng = SplitMix64::new(0xC04F_EE02);
+        for _ in 0..2048 {
+            let mut s = String::new();
+            if rng.chance(0.3) {
+                s.push(if rng.chance(0.5) { '+' } else { '-' });
+            }
+            let len = rng.next_below(21) as usize;
+            for _ in 0..len {
+                s.push(*rng.choice(alphabet) as char);
+            }
             let std_ok = s.parse::<i64>().is_ok();
             let ours = parse_i64(s.as_bytes()).is_some();
-            prop_assert_eq!(ours, std_ok, "{}", s);
+            assert_eq!(ours, std_ok, "{s}");
         }
+    }
 
-        #[test]
-        fn f64_close_to_std(int in 0u64..1_000_000_000, frac in 0u32..1_000_000) {
+    #[test]
+    fn f64_close_to_std() {
+        let mut rng = SplitMix64::new(0xC04F_EE03);
+        for _ in 0..512 {
+            let int = rng.next_below(1_000_000_000);
+            let frac = rng.next_below(1_000_000) as u32;
             let s = format!("{int}.{frac:06}");
             let ours = parse_f64(s.as_bytes()).unwrap();
             let std = s.parse::<f64>().unwrap();
             // The fast path accumulates decimally; allow 1 ulp-ish slack.
-            prop_assert!((ours - std).abs() <= std.abs() * 1e-15 + f64::EPSILON, "{}", s);
+            assert!(
+                (ours - std).abs() <= std.abs() * 1e-15 + f64::EPSILON,
+                "{s}"
+            );
         }
+    }
 
-        #[test]
-        fn f64_slow_path_matches_std(s in "-?[0-9]{1,10}(\\.[0-9]{1,10})?[eE]-?[0-9]{1,2}") {
+    #[test]
+    fn f64_slow_path_matches_std() {
+        let mut rng = SplitMix64::new(0xC04F_EE04);
+        for _ in 0..1024 {
+            // -?[0-9]{1,10}(\.[0-9]{1,10})?[eE]-?[0-9]{1,2}
+            let mut s = String::new();
+            if rng.chance(0.5) {
+                s.push('-');
+            }
+            for _ in 0..rng.next_range(1, 10) {
+                s.push((b'0' + rng.next_below(10) as u8) as char);
+            }
+            if rng.chance(0.5) {
+                s.push('.');
+                for _ in 0..rng.next_range(1, 10) {
+                    s.push((b'0' + rng.next_below(10) as u8) as char);
+                }
+            }
+            s.push(if rng.chance(0.5) { 'e' } else { 'E' });
+            if rng.chance(0.5) {
+                s.push('-');
+            }
+            for _ in 0..rng.next_range(1, 2) {
+                s.push((b'0' + rng.next_below(10) as u8) as char);
+            }
             let ours = parse_f64(s.as_bytes());
             let std = s.parse::<f64>().ok();
-            prop_assert_eq!(ours, std, "{}", s);
+            assert_eq!(ours, std, "{s}");
         }
+    }
 
-        #[test]
-        fn decimal_scales_consistently(v in -1_000_000_000i64..1_000_000_000, scale in 0u8..6) {
+    #[test]
+    fn decimal_scales_consistently() {
+        let mut rng = SplitMix64::new(0xC04F_EE05);
+        for _ in 0..1024 {
             // Render an unscaled integer at `scale`, reparse, compare.
+            let v = rng.next_range(0, 2_000_000_000) as i64 - 1_000_000_000;
+            let scale = rng.next_below(6) as u8;
             let rendered = parparaw_columnar::Value::Decimal128(v as i128, scale).to_string();
-            prop_assert_eq!(
+            assert_eq!(
                 parse_decimal(rendered.as_bytes(), scale),
                 Some(v as i128),
-                "{}", rendered
+                "{rendered}"
             );
         }
+    }
 
-        #[test]
-        fn date_roundtrips(days in -200_000i32..200_000) {
+    #[test]
+    fn date_roundtrips() {
+        let mut rng = SplitMix64::new(0xC04F_EE06);
+        for _ in 0..1024 {
+            let days = rng.next_below(400_000) as i32 - 200_000;
             let rendered = parparaw_columnar::Value::Date32(days).to_string();
-            prop_assert_eq!(parse_date(rendered.as_bytes()), Some(days), "{}", rendered);
+            assert_eq!(parse_date(rendered.as_bytes()), Some(days), "{rendered}");
         }
+    }
 
-        #[test]
-        fn timestamp_roundtrips(us in -6_000_000_000_000_000i64..6_000_000_000_000_000) {
+    #[test]
+    fn timestamp_roundtrips() {
+        let mut rng = SplitMix64::new(0xC04F_EE07);
+        for _ in 0..1024 {
+            let us = rng.next_range(0, 12_000_000_000_000_000) as i64 - 6_000_000_000_000_000;
             let rendered = parparaw_columnar::Value::TimestampMicros(us).to_string();
-            prop_assert_eq!(
-                parse_timestamp(rendered.as_bytes()),
-                Some(us),
-                "{}", rendered
-            );
+            assert_eq!(parse_timestamp(rendered.as_bytes()), Some(us), "{rendered}");
         }
     }
 }

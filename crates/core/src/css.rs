@@ -103,20 +103,19 @@ where
     let trailing = n > 0 && (num_marks == 0 || (marks[num_marks - 1] as usize) < n - 1);
     let num_fields = num_marks + usize::from(trailing);
 
-    let starts: Vec<u64> = grid.map_indexed(num_fields, |k| {
-        if k == 0 {
-            0
-        } else {
-            marks[k - 1] + 1
-        }
-    });
-    let ends: Vec<u64> = grid.map_indexed(num_fields, |k| {
-        if k < num_marks {
-            marks[k]
-        } else {
-            n as u64
-        }
-    });
+    let starts: Vec<u64> =
+        grid.map_indexed(num_fields, |k| if k == 0 { 0 } else { marks[k - 1] + 1 });
+    let ends: Vec<u64> =
+        grid.map_indexed(
+            num_fields,
+            |k| {
+                if k < num_marks {
+                    marks[k]
+                } else {
+                    n as u64
+                }
+            },
+        );
 
     FieldIndex {
         rows: (0..num_fields as u32).collect(),

@@ -195,7 +195,7 @@ pub fn utf16_to_utf8(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use parparaw_parallel::SplitMix64;
 
     fn to_utf16le(s: &str) -> Vec<u8> {
         s.encode_utf16().flat_map(|u| u.to_le_bytes()).collect()
@@ -277,13 +277,20 @@ mod tests {
         assert_eq!(detect_utf16_bom(&[]), None);
         // End to end: BOM skipped, rest transcoded.
         let mut raw = vec![0xFF, 0xFE];
-        raw.extend("a,b
-".encode_utf16().flat_map(|u| u.to_le_bytes()));
+        raw.extend(
+            "a,b
+"
+            .encode_utf16()
+            .flat_map(|u| u.to_le_bytes()),
+        );
         let (endian, skip) = detect_utf16_bom(&raw).unwrap();
         let grid = Grid::new(2);
         let out = utf16_to_utf8(&grid, &raw[skip..], endian, 8);
-        assert_eq!(out.bytes, b"a,b
-");
+        assert_eq!(
+            out.bytes,
+            b"a,b
+"
+        );
     }
 
     #[test]
@@ -300,27 +307,53 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn matches_std_lossy(units in proptest::collection::vec(any::<u16>(), 0..200),
-                             chunk in 2usize..17,
-                             workers in 1usize..4) {
+    #[test]
+    fn matches_std_lossy() {
+        // Raw u16 soup: plenty of lone/paired surrogates by construction.
+        let mut rng = SplitMix64::new(0x0E17_C0DE);
+        for case in 0..256 {
+            let len = rng.next_below(200) as usize;
+            let units = rng.vec(len, |r| {
+                if r.chance(0.3) {
+                    // Surrogate range, valid pairs only by accident.
+                    r.next_range(0xD800, 0xDFFF) as u16
+                } else {
+                    r.next_u64() as u16
+                }
+            });
+            let chunk = rng.next_range(2, 16) as usize;
+            let workers = rng.next_range(1, 3) as usize;
             let raw: Vec<u8> = units.iter().flat_map(|u| u.to_le_bytes()).collect();
             let grid = Grid::new(workers);
             let out = utf16_to_utf8(&grid, &raw, Endianness::Little, chunk);
-            prop_assert_eq!(
+            assert_eq!(
                 String::from_utf8_lossy(&out.bytes).into_owned(),
-                String::from_utf16_lossy(&units)
+                String::from_utf16_lossy(&units),
+                "case {case}"
             );
         }
+    }
 
-        #[test]
-        fn valid_strings_round_trip(s in "\\PC{0,80}", chunk in 2usize..33) {
+    #[test]
+    fn valid_strings_round_trip() {
+        // Valid scalar values across all planes (skipping surrogates).
+        let mut rng = SplitMix64::new(0x0E17_C0DF);
+        for case in 0..256 {
+            let len = rng.next_below(81) as usize;
+            let s: String = (0..len)
+                .map(|_| loop {
+                    let c = rng.next_below(0x11_0000) as u32;
+                    if let Some(ch) = char::from_u32(c) {
+                        break ch;
+                    }
+                })
+                .collect();
+            let chunk = rng.next_range(2, 32) as usize;
             let raw: Vec<u8> = s.encode_utf16().flat_map(|u| u.to_le_bytes()).collect();
             let grid = Grid::new(3);
             let out = utf16_to_utf8(&grid, &raw, Endianness::Little, chunk);
-            prop_assert_eq!(out.bytes, s.as_bytes());
-            prop_assert!(!out.had_replacements);
+            assert_eq!(out.bytes, s.as_bytes(), "case {case}");
+            assert!(!out.had_replacements, "case {case}");
         }
     }
 }

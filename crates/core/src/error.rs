@@ -41,7 +41,10 @@ impl std::fmt::Display for ParseError {
                 "selected column {index} out of range (input has {num_columns} columns)"
             ),
             ParseError::InvalidInput { final_state } => {
-                write!(f, "input is not valid for the format (ended in state {final_state})")
+                write!(
+                    f,
+                    "input is not valid for the format (ended in state {final_state})"
+                )
             }
             ParseError::InconsistentColumns { min, max } => write!(
                 f,

@@ -57,15 +57,15 @@
 pub mod chunks;
 pub mod context;
 pub mod convert;
-pub mod encoding;
 pub mod css;
+pub mod encoding;
 pub mod error;
 pub mod infer;
 pub mod meta;
 pub mod options;
 pub mod partition;
-pub mod rows;
 pub mod pipeline;
+pub mod rows;
 pub mod streaming;
 pub mod tagging;
 pub mod timings;

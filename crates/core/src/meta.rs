@@ -15,10 +15,9 @@
 //! under the rel/abs composition operator for columns.
 
 use crate::chunks::{chunk_ranges, num_chunks};
-use parparaw_device::WorkProfile;
 use parparaw_dfa::Dfa;
 use parparaw_parallel::scan::{self, ScanOp};
-use parparaw_parallel::{reduce, AtomicBitmap, Bitmap, Grid};
+use parparaw_parallel::{reduce, AtomicBitmap, Bitmap, KernelExecutor};
 
 /// A column offset that is either relative (no record delimiter seen, the
 /// offset adds to the predecessor's) or absolute (paper Fig. 4).
@@ -118,19 +117,12 @@ pub struct MetaPass {
     /// trailing undelimited record) — what streaming partitions use, since
     /// their trailing record is deferred to the next partition.
     pub observed_columns_closed: Option<(u32, u32)>,
-    /// Work profile of the pass-2 kernel.
-    pub profile_simulate: WorkProfile,
-    /// Work profile of the offset scans and reductions.
-    pub profile_scan: WorkProfile,
-    /// Wall time of the pass-2 kernel.
-    pub simulate_wall: std::time::Duration,
-    /// Wall time of the scans and reductions.
-    pub scan_wall: std::time::Duration,
 }
 
-/// Run pass 2 plus the offset scans.
+/// Run pass 2 plus the offset scans as two executor launches
+/// (`parse/pass2` and `scan/offsets`).
 pub fn identify_columns_and_records(
-    grid: &Grid,
+    exec: &KernelExecutor,
     dfa: &Dfa,
     input: &[u8],
     chunk_size: usize,
@@ -141,175 +133,177 @@ pub fn identify_columns_and_records(
     debug_assert_eq!(start_states.len(), n_chunks);
     let ranges: Vec<std::ops::Range<usize>> = chunk_ranges(n, chunk_size).collect();
 
-    let t0 = std::time::Instant::now();
     let records = AtomicBitmap::new(n);
     let fields = AtomicBitmap::new(n);
     let control = AtomicBitmap::new(n);
     let rejects = AtomicBitmap::new(n);
 
     // Kernel: single-instance DFA per chunk from its known start state.
-    let chunk_meta: Vec<ChunkMeta> = grid.map_indexed(n_chunks, |c| {
-        let mut state = start_states[c];
-        let mut meta = ChunkMeta::default();
-        let mut rel: u32 = 0;
-        for i in ranges[c].clone() {
-            let g = dfa.group_of(input[i]);
-            let emit = Dfa::emit_in_row(dfa.emit_row(g), state);
-            state = Dfa::next_in_row(dfa.transition_row(g), state);
-            if emit.is_reject() {
-                rejects.set(i);
-            }
-            if emit.is_record_delimiter() {
-                records.set(i);
-                if meta.record_count == 0 {
-                    meta.first_rel = rel;
-                } else {
-                    let cols = rel + 1;
-                    if meta.mid_valid {
-                        meta.min_mid = meta.min_mid.min(cols);
-                        meta.max_mid = meta.max_mid.max(cols);
-                    } else {
-                        meta.min_mid = cols;
-                        meta.max_mid = cols;
-                        meta.mid_valid = true;
-                    }
+    let chunk_meta: Vec<ChunkMeta> = exec.launch("parse/pass2", n_chunks, |grid, counters| {
+        counters.bytes_read = n as u64;
+        // Four bitmaps plus the per-chunk metadata.
+        counters.bytes_written = (n as u64).div_ceil(2) + (n_chunks as u64) * 24;
+        counters.parallel_ops = n as u64 * 2;
+        grid.map_indexed(n_chunks, |c| {
+            let mut state = start_states[c];
+            let mut meta = ChunkMeta::default();
+            let mut rel: u32 = 0;
+            for i in ranges[c].clone() {
+                let g = dfa.group_of(input[i]);
+                let emit = Dfa::emit_in_row(dfa.emit_row(g), state);
+                state = Dfa::next_in_row(dfa.transition_row(g), state);
+                if emit.is_reject() {
+                    rejects.set(i);
                 }
-                meta.record_count += 1;
-                rel = 0;
-            } else if emit.is_field_delimiter() {
-                fields.set(i);
-                rel += 1;
-            } else if emit.is_control() {
-                control.set(i);
+                if emit.is_record_delimiter() {
+                    records.set(i);
+                    if meta.record_count == 0 {
+                        meta.first_rel = rel;
+                    } else {
+                        let cols = rel + 1;
+                        if meta.mid_valid {
+                            meta.min_mid = meta.min_mid.min(cols);
+                            meta.max_mid = meta.max_mid.max(cols);
+                        } else {
+                            meta.min_mid = cols;
+                            meta.max_mid = cols;
+                            meta.mid_valid = true;
+                        }
+                    }
+                    meta.record_count += 1;
+                    rel = 0;
+                } else if emit.is_field_delimiter() {
+                    fields.set(i);
+                    rel += 1;
+                } else if emit.is_control() {
+                    control.set(i);
+                }
             }
-        }
-        meta.col_offset = ColOffset {
-            abs: meta.record_count > 0,
-            value: rel,
-        };
-        meta
+            meta.col_offset = ColOffset {
+                abs: meta.record_count > 0,
+                value: rel,
+            };
+            meta
+        })
     });
 
     let records = records.into_bitmap();
     let fields = fields.into_bitmap();
     let control = control.into_bitmap();
     let rejects = rejects.into_bitmap();
-    let simulate_wall = t0.elapsed();
-    let t1 = std::time::Instant::now();
 
-    let mut profile_simulate = WorkProfile::new("parse/pass2");
-    profile_simulate.kernel_launches = 1;
-    profile_simulate.bytes_read = n as u64;
-    // Four bitmaps plus the per-chunk metadata.
-    profile_simulate.bytes_written = (n as u64).div_ceil(2) + (n_chunks as u64) * 24;
-    profile_simulate.parallel_ops = n as u64 * 2;
+    exec.launch("scan/offsets", n_chunks, |grid, counters| {
+        counters.kernel_launches = 6; // two scans + reduction
+        counters.bytes_read = (n_chunks as u64) * 24 * 2;
+        counters.bytes_written = (n_chunks as u64) * 12;
+        counters.parallel_ops = n_chunks as u64 * 4;
 
-    // Offset scans.
-    let counts: Vec<u64> = chunk_meta.iter().map(|m| m.record_count as u64).collect();
-    let (record_offsets, total_record_delims) =
-        scan::exclusive_scan_total(grid, &counts, &scan::AddOp);
+        // Offset scans.
+        let counts: Vec<u64> = chunk_meta.iter().map(|m| m.record_count as u64).collect();
+        let (record_offsets, total_record_delims) =
+            scan::exclusive_scan_total(grid, &counts, &scan::AddOp);
 
-    let offs: Vec<ColOffset> = chunk_meta.iter().map(|m| m.col_offset).collect();
-    let (col_scan, col_total) = scan::exclusive_scan_total(grid, &offs, &ColOffsetOp);
-    // A still-relative scanned value means "no record delimiter anywhere
-    // before this chunk": the input's first record starts at column 0, so
-    // relative values are absolute here.
-    let col_offsets: Vec<u32> = col_scan.iter().map(|c| c.value).collect();
+        let offs: Vec<ColOffset> = chunk_meta.iter().map(|m| m.col_offset).collect();
+        let (col_scan, col_total) = scan::exclusive_scan_total(grid, &offs, &ColOffsetOp);
+        // A still-relative scanned value means "no record delimiter anywhere
+        // before this chunk": the input's first record starts at column 0, so
+        // relative values are absolute here.
+        let col_offsets: Vec<u32> = col_scan.iter().map(|c| c.value).collect();
 
-    // Trailing record: any field delimiter or data symbol after the last
-    // record delimiter.
-    let (has_trailing_record, trailing_columns) = match records.last_set_bit() {
-        Some(last) => {
-            let after = n - last - 1;
-            let non_data = fields.count_ones_from(last + 1)
-                + control.count_ones_from(last + 1);
-            let data_after = after as u64 - non_data;
-            let field_after = fields.count_ones_from(last + 1);
-            (data_after + field_after > 0, col_total.value + 1)
+        // Trailing record: any field delimiter or data symbol after the last
+        // record delimiter.
+        let (has_trailing_record, trailing_columns) = match records.last_set_bit() {
+            Some(last) => {
+                let after = n - last - 1;
+                let non_data = fields.count_ones_from(last + 1) + control.count_ones_from(last + 1);
+                let data_after = after as u64 - non_data;
+                let field_after = fields.count_ones_from(last + 1);
+                (data_after + field_after > 0, col_total.value + 1)
+            }
+            None => (
+                n > 0 && {
+                    let non_data = fields.count_ones() + control.count_ones();
+                    (n as u64 - non_data) + fields.count_ones() > 0
+                },
+                col_total.value + 1,
+            ),
+        };
+
+        let num_records = total_record_delims + u64::from(has_trailing_record);
+
+        // Observed min/max columns per record (for inference & validation).
+        let per_chunk_minmax: Vec<(u32, u32)> = chunk_meta
+            .iter()
+            .enumerate()
+            .map(|(c, m)| {
+                let mut mn = u32::MAX;
+                let mut mx = 0u32;
+                if m.record_count > 0 {
+                    // The first record closed in this chunk spans back to the
+                    // chunk's starting column offset.
+                    let cols = col_offsets[c] + m.first_rel + 1;
+                    mn = mn.min(cols);
+                    mx = mx.max(cols);
+                }
+                if m.mid_valid {
+                    mn = mn.min(m.min_mid);
+                    mx = mx.max(m.max_mid);
+                }
+                (mn, mx)
+            })
+            .collect();
+        let (mut mn, mut mx) = reduce::reduce(grid, &per_chunk_minmax, &reduce::MinMaxU32Op);
+        let observed_columns_closed = (total_record_delims > 0).then_some((mn, mx));
+        if has_trailing_record {
+            mn = mn.min(trailing_columns);
+            mx = mx.max(trailing_columns);
         }
-        None => (n > 0 && {
-            let non_data = fields.count_ones() + control.count_ones();
-            (n as u64 - non_data) + fields.count_ones() > 0
-        }, col_total.value + 1),
-    };
+        let observed_columns = (num_records > 0).then_some((mn, mx));
 
-    let num_records = total_record_delims + u64::from(has_trailing_record);
-
-    // Observed min/max columns per record (for inference & validation).
-    let per_chunk_minmax: Vec<(u32, u32)> = chunk_meta
-        .iter()
-        .enumerate()
-        .map(|(c, m)| {
-            let mut mn = u32::MAX;
-            let mut mx = 0u32;
-            if m.record_count > 0 {
-                // The first record closed in this chunk spans back to the
-                // chunk's starting column offset.
-                let cols = col_offsets[c] + m.first_rel + 1;
-                mn = mn.min(cols);
-                mx = mx.max(cols);
-            }
-            if m.mid_valid {
-                mn = mn.min(m.min_mid);
-                mx = mx.max(m.max_mid);
-            }
-            (mn, mx)
-        })
-        .collect();
-    let (mut mn, mut mx) = reduce::reduce(grid, &per_chunk_minmax, &reduce::MinMaxU32Op);
-    let observed_columns_closed = (total_record_delims > 0).then_some((mn, mx));
-    if has_trailing_record {
-        mn = mn.min(trailing_columns);
-        mx = mx.max(trailing_columns);
-    }
-    let observed_columns = (num_records > 0).then_some((mn, mx));
-
-    let mut profile_scan = WorkProfile::new("scan/offsets");
-    profile_scan.kernel_launches = 6; // two scans + reduction
-    profile_scan.bytes_read = (n_chunks as u64) * 24 * 2;
-    profile_scan.bytes_written = (n_chunks as u64) * 12;
-    profile_scan.parallel_ops = n_chunks as u64 * 4;
-
-    let scan_wall = t1.elapsed();
-    MetaPass {
-        records,
-        fields,
-        control,
-        rejects,
-        chunk_meta,
-        record_offsets,
-        col_offsets,
-        total_record_delims,
-        num_records,
-        has_trailing_record,
-        trailing_columns,
-        observed_columns,
-        observed_columns_closed,
-        profile_simulate,
-        profile_scan,
-        simulate_wall,
-        scan_wall,
-    }
+        MetaPass {
+            records,
+            fields,
+            control,
+            rejects,
+            chunk_meta,
+            record_offsets,
+            col_offsets,
+            total_record_delims,
+            num_records,
+            has_trailing_record,
+            trailing_columns,
+            observed_columns,
+            observed_columns_closed,
+        }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::determine_contexts;
+    use crate::context::determine_contexts_with;
+    use crate::options::ScanAlgorithm;
     use parparaw_dfa::csv::rfc4180_paper;
+    use parparaw_parallel::Grid;
 
     fn run(input: &[u8], chunk_size: usize, workers: usize) -> MetaPass {
         let dfa = rfc4180_paper();
-        let grid = Grid::new(workers);
-        let ctx = determine_contexts(&grid, &dfa, input, chunk_size);
-        identify_columns_and_records(&grid, &dfa, input, chunk_size, &ctx.start_states)
+        let exec = KernelExecutor::new(Grid::new(workers));
+        let ctx = determine_contexts_with(&exec, &dfa, input, chunk_size, ScanAlgorithm::Blocked);
+        identify_columns_and_records(&exec, &dfa, input, chunk_size, &ctx.start_states)
     }
 
     #[test]
     fn col_offset_op_matches_paper_definition() {
         let op = ColOffsetOp;
-        let rel = |v| ColOffset { abs: false, value: v };
-        let abs = |v| ColOffset { abs: true, value: v };
+        let rel = |v| ColOffset {
+            abs: false,
+            value: v,
+        };
+        let abs = |v| ColOffset {
+            abs: true,
+            value: v,
+        };
         assert_eq!(op.combine(&rel(1), &rel(2)), rel(3));
         assert_eq!(op.combine(&abs(5), &rel(2)), abs(7));
         assert_eq!(op.combine(&rel(5), &abs(0)), abs(0));

@@ -7,11 +7,12 @@ use std::collections::HashSet;
 
 /// How symbols are associated with their field after partitioning
 /// (paper §4.1, Figure 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TaggingMode {
     /// Every symbol carries a four-byte record tag; the CSS index is built
     /// by run-length-encoding the tags. Fully robust: tolerates a varying
     /// number of fields per record.
+    #[default]
     RecordTagged,
     /// Delimiters are replaced by a terminator symbol inside the CSS (like
     /// `\0` for C strings); the index is recovered from terminator
@@ -25,12 +26,6 @@ pub enum TaggingMode {
     /// marks them; the index is recovered from the flags. Requires a
     /// consistent number of columns per record.
     VectorDelimited,
-}
-
-impl Default for TaggingMode {
-    fn default() -> Self {
-        TaggingMode::RecordTagged
-    }
 }
 
 impl TaggingMode {

@@ -9,9 +9,8 @@
 //! the sort doubles as the column-offsets table.
 
 use crate::tagging::Tagged;
-use parparaw_device::WorkProfile;
 use parparaw_parallel::scan::{exclusive_scan_seq, AddOp};
-use parparaw_parallel::{histogram, radix, Grid};
+use parparaw_parallel::{histogram, radix, KernelExecutor};
 
 /// Column-partitioned symbol data.
 #[derive(Debug)]
@@ -27,81 +26,98 @@ pub struct Partitioned {
     pub delim_flags: Option<Vec<bool>>,
     /// Start offset of each column's CSS; length `num_columns + 1`.
     pub col_starts: Vec<u64>,
-    /// Work profile of the partitioning passes.
-    pub profile: WorkProfile,
 }
 
-/// Partition the tagged symbols into per-column CSSs.
-pub fn partition_by_column(grid: &Grid, tagged: Tagged, num_columns: usize) -> Partitioned {
+/// Partition the tagged symbols into per-column CSSs as one instrumented
+/// `partition` launch.
+///
+/// The consumed tag buffers go back to the executor's arena (so the next
+/// pipeline run's `tag` launch reuses them) and the output symbol/tag
+/// arrays come from it (labels `partition/symbols`, `partition/rec-tags`).
+pub fn partition_by_column(
+    exec: &KernelExecutor,
+    tagged: Tagged,
+    num_columns: usize,
+) -> Partitioned {
     let n = tagged.symbols.len();
     let num_columns = num_columns.max(1);
     let max_key = (num_columns - 1) as u32;
     let digit_bits = 8u32;
     let passes = (32 - max_key.leading_zeros()).div_ceil(digit_bits).max(1);
 
-    // The histogram over column tags gives the CSS offsets (reusing the
-    // sort's histogram, as the paper notes).
-    let hist = histogram::histogram(grid, &tagged.col_tags, num_columns);
-    let mut col_starts = exclusive_scan_seq(&hist, &AddOp);
-    col_starts.push(n as u64);
+    exec.launch("partition", n, |grid, counters| {
+        // The histogram over column tags gives the CSS offsets (reusing the
+        // sort's histogram, as the paper notes).
+        let hist = histogram::histogram(grid, &tagged.col_tags, num_columns);
+        let mut col_starts = exclusive_scan_seq(&hist, &AddOp);
+        col_starts.push(n as u64);
 
-    let mode_bytes: u64;
-    let mut keys = tagged.col_tags;
-    let (symbols, rec_tags, delim_flags) = match (&tagged.delim_flags, !tagged.rec_tags.is_empty())
-    {
-        (Some(_), _) => {
-            // Vector-delimited: payload = (symbol, flag).
-            let flags = tagged.delim_flags.unwrap();
-            let mut values: Vec<(u8, bool)> = tagged
-                .symbols
-                .iter()
-                .copied()
-                .zip(flags.iter().copied())
-                .collect();
-            radix::sort_pairs_by_key(grid, &mut keys, &mut values, max_key, digit_bits);
-            mode_bytes = 4 + 2;
-            let symbols: Vec<u8> = values.iter().map(|v| v.0).collect();
-            let flags: Vec<bool> = values.iter().map(|v| v.1).collect();
-            (symbols, Vec::new(), Some(flags))
-        }
-        (None, true) => {
-            // Record-tagged: payload = (symbol, record tag).
-            let mut values: Vec<(u8, u32)> = tagged
-                .symbols
-                .iter()
-                .copied()
-                .zip(tagged.rec_tags.iter().copied())
-                .collect();
-            radix::sort_pairs_by_key(grid, &mut keys, &mut values, max_key, digit_bits);
-            mode_bytes = 4 + 5;
-            let symbols: Vec<u8> = values.iter().map(|v| v.0).collect();
-            let recs: Vec<u32> = values.iter().map(|v| v.1).collect();
-            (symbols, recs, None)
-        }
-        (None, false) => {
-            // Inline-terminated: payload = symbol only.
-            let mut values = tagged.symbols;
-            radix::sort_pairs_by_key(grid, &mut keys, &mut values, max_key, digit_bits);
-            mode_bytes = 4 + 1;
-            (values, Vec::new(), None)
-        }
-    };
+        let arena = exec.arena();
+        let mode_bytes: u64;
+        let mut keys = tagged.col_tags;
+        let (symbols, rec_tags, delim_flags) =
+            match (&tagged.delim_flags, !tagged.rec_tags.is_empty()) {
+                (Some(_), _) => {
+                    // Vector-delimited: payload = (symbol, flag).
+                    let flags = tagged.delim_flags.unwrap();
+                    let mut values: Vec<(u8, bool)> = tagged
+                        .symbols
+                        .iter()
+                        .copied()
+                        .zip(flags.iter().copied())
+                        .collect();
+                    radix::sort_pairs_by_key(grid, &mut keys, &mut values, max_key, digit_bits);
+                    mode_bytes = 4 + 2;
+                    let mut symbols = arena.take_u8("partition/symbols");
+                    symbols.extend(values.iter().map(|v| v.0));
+                    let flags_out: Vec<bool> = values.iter().map(|v| v.1).collect();
+                    arena.put_u8("tag/symbols", tagged.symbols);
+                    arena.put_u32("tag/rec-tags", tagged.rec_tags);
+                    (symbols, Vec::new(), Some(flags_out))
+                }
+                (None, true) => {
+                    // Record-tagged: payload = (symbol, record tag).
+                    let mut values: Vec<(u8, u32)> = tagged
+                        .symbols
+                        .iter()
+                        .copied()
+                        .zip(tagged.rec_tags.iter().copied())
+                        .collect();
+                    radix::sort_pairs_by_key(grid, &mut keys, &mut values, max_key, digit_bits);
+                    mode_bytes = 4 + 5;
+                    let mut symbols = arena.take_u8("partition/symbols");
+                    symbols.extend(values.iter().map(|v| v.0));
+                    let mut recs = arena.take_u32("partition/rec-tags");
+                    recs.extend(values.iter().map(|v| v.1));
+                    arena.put_u8("tag/symbols", tagged.symbols);
+                    arena.put_u32("tag/rec-tags", tagged.rec_tags);
+                    (symbols, recs, None)
+                }
+                (None, false) => {
+                    // Inline-terminated: payload = symbol only.
+                    let mut values = tagged.symbols;
+                    radix::sort_pairs_by_key(grid, &mut keys, &mut values, max_key, digit_bits);
+                    mode_bytes = 4 + 1;
+                    arena.put_u32("tag/rec-tags", tagged.rec_tags);
+                    (values, Vec::new(), None)
+                }
+            };
+        arena.put_u32("tag/col-tags", keys);
 
-    // Each pass reads and writes (key + payload) for every item, plus the
-    // histogram/scan traffic.
-    let mut profile = WorkProfile::new("partition");
-    profile.kernel_launches = 3 * passes;
-    profile.bytes_read = passes as u64 * n as u64 * mode_bytes;
-    profile.bytes_written = passes as u64 * n as u64 * mode_bytes;
-    profile.parallel_ops = passes as u64 * n as u64 * 2;
+        // Each pass reads and writes (key + payload) for every item, plus
+        // the histogram/scan traffic.
+        counters.kernel_launches = 3 * passes;
+        counters.bytes_read = passes as u64 * n as u64 * mode_bytes;
+        counters.bytes_written = passes as u64 * n as u64 * mode_bytes;
+        counters.parallel_ops = passes as u64 * n as u64 * 2;
 
-    Partitioned {
-        symbols,
-        rec_tags,
-        delim_flags,
-        col_starts,
-        profile,
-    }
+        Partitioned {
+            symbols,
+            rec_tags,
+            delim_flags,
+            col_starts,
+        }
+    })
 }
 
 impl Partitioned {
@@ -135,17 +151,18 @@ impl Partitioned {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::determine_contexts;
-    use crate::options::TaggingMode;
+    use crate::context::determine_contexts_with;
     use crate::meta::identify_columns_and_records;
+    use crate::options::{ScanAlgorithm, TaggingMode};
     use crate::tagging::{tag_symbols, TagConfig};
     use parparaw_dfa::csv::rfc4180_paper;
+    use parparaw_parallel::Grid;
 
-    fn tag(input: &[u8], mode: TaggingMode, cols: usize) -> (Grid, Tagged) {
+    fn tag(input: &[u8], mode: TaggingMode, cols: usize) -> (KernelExecutor, Tagged) {
         let dfa = rfc4180_paper();
-        let grid = Grid::new(3);
-        let ctx = determine_contexts(&grid, &dfa, input, 7);
-        let meta = identify_columns_and_records(&grid, &dfa, input, 7, &ctx.start_states);
+        let exec = KernelExecutor::new(Grid::new(3));
+        let ctx = determine_contexts_with(&exec, &dfa, input, 7, ScanAlgorithm::Blocked);
+        let meta = identify_columns_and_records(&exec, &dfa, input, 7, &ctx.start_states);
         let col_map: Vec<Option<u32>> = (0..cols as u32).map(Some).collect();
         let cfg = TagConfig {
             mode,
@@ -154,15 +171,15 @@ mod tests {
             expected_columns: None,
             num_out_rows: meta.num_records,
         };
-        let t = tag_symbols(&grid, input, 7, &meta, &cfg);
-        (grid, t)
+        let t = tag_symbols(&exec, input, 7, &meta, &cfg);
+        (exec, t)
     }
 
     #[test]
     fn figure5_record_tagged_partitioning() {
         let input = b"1941,199.99,\"Bookcase\"\n1938,19.99,\"Frame\n\"\"Ribba\"\", black\"\n";
-        let (grid, t) = tag(input, TaggingMode::RecordTagged, 3);
-        let p = partition_by_column(&grid, t, 3);
+        let (exec, t) = tag(input, TaggingMode::RecordTagged, 3);
+        let p = partition_by_column(&exec, t, 3);
         // Paper Fig. 5: the three columns' CSSs.
         assert_eq!(p.css(0), b"19411938");
         assert_eq!(p.css(1), b"199.9919.99");
@@ -175,9 +192,9 @@ mod tests {
     #[test]
     fn figure6_inline_partitioning() {
         let input = b"0,\"Apples\"\n1,\n2,\"Pears\"\n";
-        let (grid, t) = tag(input, TaggingMode::InlineTerminated { terminator: 0 }, 2);
-        let p = partition_by_column(&grid, t, 2);
-        assert_eq!(p.css(0), b"0\01\02\0");
+        let (exec, t) = tag(input, TaggingMode::InlineTerminated { terminator: 0 }, 2);
+        let p = partition_by_column(&exec, t, 2);
+        assert_eq!(p.css(0), b"0\x001\x002\x00");
         assert_eq!(p.css(1), b"Apples\0\0Pears\0");
         assert!(p.css_rec_tags(0).is_empty());
     }
@@ -185,8 +202,8 @@ mod tests {
     #[test]
     fn figure6_vector_partitioning() {
         let input = b"0,\"Apples\"\n1,\n2,\"Pears\"\n";
-        let (grid, t) = tag(input, TaggingMode::VectorDelimited, 2);
-        let p = partition_by_column(&grid, t, 2);
+        let (exec, t) = tag(input, TaggingMode::VectorDelimited, 2);
+        let p = partition_by_column(&exec, t, 2);
         assert_eq!(p.css(1), b"Apples\n\nPears\n");
         let flags = p.css_flags(1).unwrap();
         let delim_positions: Vec<usize> = flags
@@ -202,10 +219,13 @@ mod tests {
     fn many_columns_take_multiple_radix_passes() {
         // 300 columns forces two 8-bit digits.
         let cols = 300usize;
-        let row: String = (0..cols).map(|c| format!("{c}")).collect::<Vec<_>>().join(",");
+        let row: String = (0..cols)
+            .map(|c| format!("{c}"))
+            .collect::<Vec<_>>()
+            .join(",");
         let input = format!("{row}\n{row}\n");
-        let (grid, t) = tag(input.as_bytes(), TaggingMode::RecordTagged, cols);
-        let p = partition_by_column(&grid, t, cols);
+        let (exec, t) = tag(input.as_bytes(), TaggingMode::RecordTagged, cols);
+        let p = partition_by_column(&exec, t, cols);
         assert_eq!(p.css(0), b"00");
         assert_eq!(p.css(299), b"299299");
         assert_eq!(p.css(42), b"4242");
@@ -213,8 +233,8 @@ mod tests {
 
     #[test]
     fn empty_input_partitions() {
-        let (grid, t) = tag(b"", TaggingMode::RecordTagged, 1);
-        let p = partition_by_column(&grid, t, 1);
+        let (exec, t) = tag(b"", TaggingMode::RecordTagged, 1);
+        let p = partition_by_column(&exec, t, 1);
         assert_eq!(p.num_columns(), 1);
         assert!(p.css(0).is_empty());
     }

@@ -12,9 +12,12 @@
 //! 5. **convert** — CSS indexing, optional type inference, and typed
 //!    columnar materialisation.
 //!
-//! Wall-clock timings are reported per phase in the categories of paper
-//! Fig. 9, and every kernel's measured work profile is replayed through
-//! the simulated device's cost model.
+//! Every phase runs as an instrumented [`KernelExecutor`] launch; the
+//! per-phase wall-clock timings (the categories of paper Fig. 9), the
+//! per-kernel work profiles, and the simulated-device cost replay are all
+//! derived from the executor's launch log.
+//!
+//! [`KernelExecutor`]: parparaw_parallel::KernelExecutor
 
 use crate::convert::convert_column;
 use crate::css::{index_inline, index_record_tagged, index_vector, FieldIndex};
@@ -29,7 +32,7 @@ use parparaw_columnar::{DataType, Field, Schema, Table};
 use parparaw_device::{CostModel, WorkProfile};
 use parparaw_dfa::csv::{rfc4180, CsvDialect};
 use parparaw_dfa::Dfa;
-use std::time::Instant;
+use parparaw_parallel::KernelExecutor;
 
 /// A configured ParPaRaw parser: a DFA (the format) plus options.
 #[derive(Debug, Clone)]
@@ -56,7 +59,8 @@ impl Parser {
 
     /// Parse `input` into a columnar table.
     pub fn parse(&self, input: &[u8]) -> Result<ParseOutput, ParseError> {
-        Ok(self.parse_impl(input, false)?.0)
+        let exec = KernelExecutor::new(self.options.grid.clone());
+        Ok(self.parse_with(&exec, input, false)?.0)
     }
 
     /// Parse one streaming partition: the trailing record not closed by a
@@ -64,19 +68,25 @@ impl Parser {
     /// it spans is returned so the caller can prepend them to the next
     /// partition (the carry-over of paper §4.4).
     pub fn parse_partition(&self, input: &[u8]) -> Result<(ParseOutput, usize), ParseError> {
-        self.parse_impl(input, true)
+        let exec = KernelExecutor::new(self.options.grid.clone());
+        self.parse_with(&exec, input, true)
     }
 
-    fn parse_impl(
+    /// Run the full pipeline on an explicit executor. The streaming path
+    /// reuses one executor (and its buffer arena) across partitions; the
+    /// launch log is drained per call, so every run reports its own
+    /// timings and profiles.
+    pub(crate) fn parse_with(
         &self,
+        exec: &KernelExecutor,
         input: &[u8],
         drop_trailing: bool,
     ) -> Result<(ParseOutput, usize), ParseError> {
         let o = &self.options;
-        let grid = &o.grid;
         let cs = o.chunk_size;
-        let mut timings = PhaseTimings::default();
-        let mut profiles: Vec<WorkProfile> = Vec::new();
+        // Leftover records from an aborted earlier run must not leak into
+        // this run's timings.
+        let _ = exec.drain_log();
 
         // Phase 0 (optional): prune skipped rows before anything else
         // (paper §4.3 — removing rows changes the parsing context of
@@ -88,10 +98,7 @@ impl Parser {
             let mut skip = o.skip_rows.clone();
             skip.sort_unstable();
             skip.dedup();
-            let t = Instant::now();
-            pruned = crate::rows::prune_rows(grid, input, cs, &skip);
-            timings.parse += t.elapsed();
-            profiles.push(pruned.profile.clone());
+            pruned = crate::rows::prune_rows(exec, input, cs, &skip);
             &pruned.bytes
         };
 
@@ -108,21 +115,10 @@ impl Parser {
         };
 
         // Phases 1+2: context recovery and metadata.
-        let ctx = crate::context::determine_contexts_with(
-            grid,
-            &self.dfa,
-            input,
-            cs,
-            o.scan_algorithm,
-        );
-        let meta = identify_columns_and_records(grid, &self.dfa, input, cs, &ctx.start_states);
-        timings.parse += ctx.simulate_wall + meta.simulate_wall;
-        timings.scan += ctx.scan_wall + meta.scan_wall;
+        let ctx =
+            crate::context::determine_contexts_with(exec, &self.dfa, input, cs, o.scan_algorithm);
+        let meta = identify_columns_and_records(exec, &self.dfa, input, cs, &ctx.start_states);
         let input_valid = self.dfa.is_accepting(ctx.final_state);
-        profiles.push(ctx.profile_simulate.clone());
-        profiles.push(ctx.profile_scan.clone());
-        profiles.push(meta.profile_simulate.clone());
-        profiles.push(meta.profile_scan.clone());
 
         // Column universe: schema count or inferred maximum. Streaming
         // partitions exclude the (deferred) trailing record.
@@ -186,8 +182,7 @@ impl Parser {
             // the next partition — even when it is control-only (an open
             // enclosure or a half comment still changes how the next
             // partition must parse).
-            carry_len = input.len()
-                - meta.records.last_set_bit().map(|i| i + 1).unwrap_or(0);
+            carry_len = input.len() - meta.records.last_set_bit().map(|i| i + 1).unwrap_or(0);
             if meta.has_trailing_record {
                 let trailing = meta.num_records - 1;
                 if !skip.contains(&trailing) {
@@ -199,7 +194,6 @@ impl Parser {
         let num_out_rows = meta.num_records - skip.len() as u64;
 
         // Phase 3: tagging.
-        let t_tag = Instant::now();
         let cfg = TagConfig {
             mode: o.tagging,
             col_map: &col_map,
@@ -207,14 +201,12 @@ impl Parser {
             expected_columns: o.validate_column_count.then_some(num_raw_cols as u32),
             num_out_rows,
         };
-        let tagged = tag_symbols(grid, input, cs, &meta, &cfg);
-        timings.tag += t_tag.elapsed();
+        let tagged = tag_symbols(exec, input, cs, &meta, &cfg);
         if tagged.terminator_clash {
             if let TaggingMode::InlineTerminated { terminator } = o.tagging {
                 return Err(ParseError::TerminatorInData { terminator });
             }
         }
-        profiles.push(tagged.profile.clone());
         let mut rejected = tagged.rejected.clone();
 
         // Trailing-record column validation happens here: the tagging
@@ -231,17 +223,14 @@ impl Parser {
         }
 
         // Phase 4: partitioning.
-        let t_part = Instant::now();
         let tagged_for_partition = crate::tagging::Tagged {
             rejected: parparaw_parallel::Bitmap::new(0), // moved out above
             ..tagged
         };
-        let part = partition_by_column(grid, tagged_for_partition, num_out_cols);
-        timings.partition += t_part.elapsed();
-        profiles.push(part.profile.clone());
+        let part = partition_by_column(exec, tagged_for_partition, num_out_cols);
 
-        // Phase 5: indexing, inference, conversion.
-        let t_conv = Instant::now();
+        // Phase 5: indexing, inference, conversion — per-column launches
+        // (the overhead the paper blames for small inputs, §5.1).
         let threshold = o.effective_collaboration_threshold();
         let num_rows = num_out_rows as usize;
         let mut columns = Vec::with_capacity(num_out_cols);
@@ -249,48 +238,45 @@ impl Parser {
         let mut conversion_rejects = 0u64;
         let mut collaborative_fields = 0u64;
         let mut block_level_fields = 0u64;
-        let mut convert_profile = WorkProfile::new("convert");
         let mut total_fields = 0u64;
 
         for (out_c, &raw_c) in selection.iter().enumerate() {
             let css = part.css(out_c);
-            let index: FieldIndex = match o.tagging {
-                TaggingMode::RecordTagged => index_record_tagged(grid, part.css_rec_tags(out_c)),
-                TaggingMode::InlineTerminated { terminator } => {
-                    index_inline(grid, css, terminator)
-                }
-                TaggingMode::VectorDelimited => {
-                    index_vector(grid, part.css_flags(out_c).expect("vector mode has flags"))
-                }
-            };
-            total_fields += index.num_fields() as u64;
-            // Index-generation kernels (the per-column launches the paper
-            // blames for small-input overhead, §5.1).
-            let mut idx_profile = WorkProfile::new("convert/index");
-            idx_profile.kernel_launches = 3;
-            idx_profile.bytes_read = css.len() as u64
-                + if matches!(o.tagging, TaggingMode::RecordTagged) {
-                    css.len() as u64 * 4
-                } else {
-                    0
+            let index: FieldIndex = exec.launch("convert/index", css.len(), |grid, counters| {
+                let index = match o.tagging {
+                    TaggingMode::RecordTagged => {
+                        index_record_tagged(grid, part.css_rec_tags(out_c))
+                    }
+                    TaggingMode::InlineTerminated { terminator } => {
+                        index_inline(grid, css, terminator)
+                    }
+                    TaggingMode::VectorDelimited => {
+                        index_vector(grid, part.css_flags(out_c).expect("vector mode has flags"))
+                    }
                 };
-            idx_profile.bytes_written = index.num_fields() as u64 * 20;
-            idx_profile.parallel_ops = css.len() as u64;
-            convert_profile.merge(&idx_profile);
+                counters.kernel_launches = 3;
+                counters.bytes_read = css.len() as u64
+                    + if matches!(o.tagging, TaggingMode::RecordTagged) {
+                        css.len() as u64 * 4
+                    } else {
+                        0
+                    };
+                counters.bytes_written = index.num_fields() as u64 * 20;
+                counters.parallel_ops = css.len() as u64;
+                index
+            });
+            total_fields += index.num_fields() as u64;
 
             let field = match &o.schema {
                 Some(s) => s.fields[raw_c].clone(),
                 None => {
                     let dtype = if o.infer_types {
-                        let t = infer_column_type(grid, css, &index);
-                        convert_profile.merge(&{
-                            let mut p = WorkProfile::new("convert/infer");
-                            p.kernel_launches = 2;
-                            p.bytes_read = css.len() as u64;
-                            p.parallel_ops = css.len() as u64;
-                            p
-                        });
-                        t
+                        exec.launch("convert/infer", css.len(), |grid, counters| {
+                            counters.kernel_launches = 2;
+                            counters.bytes_read = css.len() as u64;
+                            counters.parallel_ops = css.len() as u64;
+                            infer_column_type(grid, css, &index)
+                        })
                     } else {
                         DataType::Utf8
                     };
@@ -303,27 +289,30 @@ impl Parser {
                 }
             };
 
-            let out = convert_column(
-                grid,
-                css,
-                &index,
-                num_rows,
-                field.data_type,
-                field.default.as_ref(),
-                &rejected,
-                threshold,
-            );
+            let out = exec.launch("convert/column", css.len(), |grid, counters| {
+                let out = convert_column(
+                    grid,
+                    css,
+                    &index,
+                    num_rows,
+                    field.data_type,
+                    field.default.as_ref(),
+                    &rejected,
+                    threshold,
+                );
+                counters.kernel_launches = out.profile.kernel_launches;
+                counters.bytes_read = out.profile.bytes_read;
+                counters.bytes_written = out.profile.bytes_written;
+                counters.parallel_ops = out.profile.parallel_ops;
+                counters.serial_ops = out.profile.serial_ops;
+                out
+            });
             conversion_rejects += out.reject_count;
             collaborative_fields += out.collaborative_fields;
             block_level_fields += out.block_level_fields;
-            convert_profile.merge(&out.profile);
             columns.push(out.column);
             fields_meta.push(field);
         }
-        timings.convert += t_conv.elapsed();
-        convert_profile.label = "convert".to_string();
-        convert_profile.kernel_launches = convert_profile.kernel_launches.max(1);
-        profiles.push(convert_profile);
 
         let table = Table::new(Schema::new(fields_meta), columns)
             .expect("pipeline produces equal-length columns");
@@ -343,6 +332,12 @@ impl Parser {
             total_fields,
         };
 
+        // Everything the caller learns about time and work comes from the
+        // executor's launch log: wall-clock phase buckets, per-kernel
+        // profiles, and the simulated-device replay.
+        let log = exec.drain_log();
+        let timings = PhaseTimings::from_log(&log);
+        let profiles: Vec<WorkProfile> = log.iter().map(WorkProfile::from_launch).collect();
         let model = CostModel::new(o.device.clone());
         let simulated = SimulatedTimings::from_profiles(&model, &profiles, input.len() as u64);
 
@@ -422,10 +417,7 @@ mod tests {
         assert_eq!(t.value(0, 0), Value::Int64(1941));
         assert_eq!(t.value(1, 1), Value::Float64(19.99));
         assert_eq!(t.value(0, 2), Value::Utf8("Bookcase".into()));
-        assert_eq!(
-            t.value(1, 2),
-            Value::Utf8("Frame\n\"Ribba\", black".into())
-        );
+        assert_eq!(t.value(1, 2), Value::Utf8("Frame\n\"Ribba\", black".into()));
         assert_eq!(out.stats.rejected_records, 0);
     }
 
@@ -622,7 +614,12 @@ mod tests {
         assert!(out.profiles.len() >= 6);
         assert!(out.simulated.total_seconds > 0.0);
         assert!(out.simulated.rate_gbps > 0.0);
-        let cats: Vec<&str> = out.simulated.phases.iter().map(|(c, _)| c.as_str()).collect();
+        let cats: Vec<&str> = out
+            .simulated
+            .phases
+            .iter()
+            .map(|(c, _)| c.as_str())
+            .collect();
         for want in ["parse", "scan", "tag", "partition", "convert"] {
             assert!(cats.contains(&want), "{cats:?}");
         }

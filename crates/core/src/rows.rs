@@ -15,10 +15,9 @@
 //! scatter compaction to produce the pruned buffer.
 
 use crate::chunks::{chunk_ranges, num_chunks};
-use parparaw_device::WorkProfile;
 use parparaw_parallel::grid::SlotWriter;
 use parparaw_parallel::scan;
-use parparaw_parallel::Grid;
+use parparaw_parallel::KernelExecutor;
 
 /// The pruned input plus accounting.
 #[derive(Debug)]
@@ -30,89 +29,95 @@ pub struct PrunedRows {
     pub total_rows: u64,
     /// Number of rows removed.
     pub skipped_rows: u64,
-    /// Work profile of the prepass.
-    pub profile: WorkProfile,
 }
 
 /// Remove the rows whose 0-based indexes appear in `skip` (must be
 /// sorted). Rows are newline-bounded; the final unterminated row counts.
-pub fn prune_rows(grid: &Grid, input: &[u8], chunk_size: usize, skip: &[u64]) -> PrunedRows {
+/// Runs as one instrumented `parse/prune-rows` launch.
+pub fn prune_rows(
+    exec: &KernelExecutor,
+    input: &[u8],
+    chunk_size: usize,
+    skip: &[u64],
+) -> PrunedRows {
     debug_assert!(skip.windows(2).all(|w| w[0] < w[1]), "skip must be sorted");
     let n = input.len();
     let n_chunks = num_chunks(n, chunk_size);
     let ranges: Vec<std::ops::Range<usize>> = chunk_ranges(n, chunk_size).collect();
 
-    // Per-chunk newline counts → per-chunk starting row index.
-    let counts: Vec<u64> = grid.map_indexed(n_chunks, |c| {
-        input[ranges[c].clone()]
-            .iter()
-            .filter(|&&b| b == b'\n')
-            .count() as u64
-    });
-    let (row_offsets, total_newlines) = scan::exclusive_scan_total(grid, &counts, &scan::AddOp);
-    let total_rows = total_newlines
-        + u64::from(n > 0 && input.last() != Some(&b'\n'));
+    exec.launch("parse/prune-rows", n_chunks, |grid, counters| {
+        // Per-chunk newline counts → per-chunk starting row index.
+        let counts: Vec<u64> = grid.map_indexed(n_chunks, |c| {
+            input[ranges[c].clone()]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count() as u64
+        });
+        let (row_offsets, total_newlines) = scan::exclusive_scan_total(grid, &counts, &scan::AddOp);
+        let total_rows = total_newlines + u64::from(n > 0 && input.last() != Some(&b'\n'));
 
-    let is_skipped = |row: u64| skip.binary_search(&row).is_ok();
+        let is_skipped = |row: u64| skip.binary_search(&row).is_ok();
 
-    // Pass A: bytes kept per chunk.
-    let kept_counts: Vec<u64> = grid.map_indexed(n_chunks, |c| {
-        let mut row = row_offsets[c];
-        let mut kept = 0u64;
-        for &b in &input[ranges[c].clone()] {
-            if !is_skipped(row) {
-                kept += 1;
-            }
-            if b == b'\n' {
-                row += 1;
-            }
-        }
-        kept
-    });
-    let (write_offsets, total_kept) = scan::exclusive_scan_total(grid, &kept_counts, &scan::AddOp);
-
-    // Pass B: scatter kept bytes.
-    let mut bytes = vec![0u8; total_kept as usize];
-    {
-        let bw = SlotWriter::new(&mut bytes);
-        grid.run_partitioned(n_chunks, |_, chunks| {
-            for c in chunks {
-                let mut row = row_offsets[c];
-                let mut dst = write_offsets[c] as usize;
-                for &b in &input[ranges[c].clone()] {
-                    if !is_skipped(row) {
-                        unsafe { bw.write(dst, b) };
-                        dst += 1;
-                    }
-                    if b == b'\n' {
-                        row += 1;
-                    }
+        // Pass A: bytes kept per chunk.
+        let kept_counts: Vec<u64> = grid.map_indexed(n_chunks, |c| {
+            let mut row = row_offsets[c];
+            let mut kept = 0u64;
+            for &b in &input[ranges[c].clone()] {
+                if !is_skipped(row) {
+                    kept += 1;
+                }
+                if b == b'\n' {
+                    row += 1;
                 }
             }
+            kept
         });
-    }
+        let (write_offsets, total_kept) =
+            scan::exclusive_scan_total(grid, &kept_counts, &scan::AddOp);
 
-    let skipped_rows = skip.iter().filter(|&&r| r < total_rows).count() as u64;
-    let mut profile = WorkProfile::new("parse/prune-rows");
-    profile.kernel_launches = 3;
-    profile.bytes_read = n as u64 * 2;
-    profile.bytes_written = total_kept;
-    profile.parallel_ops = n as u64 * 2;
+        // Pass B: scatter kept bytes.
+        let mut bytes = vec![0u8; total_kept as usize];
+        {
+            let bw = SlotWriter::new(&mut bytes);
+            grid.run_partitioned(n_chunks, |_, chunks| {
+                for c in chunks {
+                    let mut row = row_offsets[c];
+                    let mut dst = write_offsets[c] as usize;
+                    for &b in &input[ranges[c].clone()] {
+                        if !is_skipped(row) {
+                            unsafe { bw.write(dst, b) };
+                            dst += 1;
+                        }
+                        if b == b'\n' {
+                            row += 1;
+                        }
+                    }
+                }
+            });
+        }
 
-    PrunedRows {
-        bytes,
-        total_rows,
-        skipped_rows,
-        profile,
-    }
+        let skipped_rows = skip.iter().filter(|&&r| r < total_rows).count() as u64;
+        counters.kernel_launches = 3;
+        counters.bytes_read = n as u64 * 2;
+        counters.bytes_written = total_kept;
+        counters.parallel_ops = n as u64 * 2;
+
+        PrunedRows {
+            bytes,
+            total_rows,
+            skipped_rows,
+        }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    use parparaw_parallel::Grid;
+
     fn prune(input: &[u8], skip: &[u64]) -> PrunedRows {
-        prune_rows(&Grid::new(3), input, 5, skip)
+        prune_rows(&KernelExecutor::new(Grid::new(3)), input, 5, skip)
     }
 
     #[test]
@@ -157,10 +162,10 @@ mod tests {
     #[test]
     fn deterministic_across_chunkings_and_workers() {
         let input = b"header\n1,2,3\n# comment row\n4,5,6\n7,8,9";
-        let reference = prune_rows(&Grid::new(1), input, 100, &[0, 2]);
+        let reference = prune_rows(&KernelExecutor::new(Grid::new(1)), input, 100, &[0, 2]);
         for cs in [1usize, 3, 7, 64] {
             for workers in [1usize, 4] {
-                let out = prune_rows(&Grid::new(workers), input, cs, &[0, 2]);
+                let out = prune_rows(&KernelExecutor::new(Grid::new(workers)), input, cs, &[0, 2]);
                 assert_eq!(out.bytes, reference.bytes, "cs={cs} w={workers}");
                 assert_eq!(out.total_rows, reference.total_rows);
             }

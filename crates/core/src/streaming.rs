@@ -23,6 +23,8 @@ use crate::timings::ParseOutput;
 use parparaw_columnar::{Schema, Table};
 use parparaw_device::streaming::PartitionCost;
 use parparaw_device::{CostModel, PcieLink, StreamingPlan};
+use parparaw_parallel::KernelExecutor;
+use std::sync::mpsc::sync_channel;
 use std::time::{Duration, Instant};
 
 /// Measurements for one streamed partition.
@@ -97,25 +99,28 @@ impl Parser {
         let partition_size = partition_size.max(1);
         let t0 = Instant::now();
 
-        let num_partitions = input.len().div_ceil(partition_size).max(1);
-        let (tx_raw, rx_raw) = crossbeam::channel::bounded::<(Vec<u8>, bool)>(1);
-        let (tx_out, rx_out) =
-            crossbeam::channel::bounded::<(Table, PartitionReport, u64)>(1);
+        // One executor for the whole stream: its worker pool persists
+        // across partitions and its arena recycles the partition and work
+        // buffers, so steady-state streaming does near-zero allocation.
+        let exec = KernelExecutor::new(self.options().grid.clone());
+        let exec = &exec;
 
-        let mut result: Result<StreamedOutput, ParseError> = Err(ParseError::InvalidInput {
-            final_state: "unreached".into(),
-        });
+        let num_partitions = input.len().div_ceil(partition_size).max(1);
+        let (tx_raw, rx_raw) = sync_channel::<(Vec<u8>, bool)>(1);
+        let (tx_out, rx_out) = sync_channel::<(Table, PartitionReport, u64)>(1);
+
         let mut header_names_out: Option<Vec<String>> = None;
 
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             // Stage 1 — "transfer": copy raw partitions into owned buffers
-            // (the host→device DMA stand-in). The bounded(1) channel plus
+            // (the host→device DMA stand-in). The capacity-1 channel plus
             // the buffer being filled makes this a double buffer.
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for p in 0..num_partitions {
                     let start = p * partition_size;
                     let end = ((p + 1) * partition_size).min(input.len());
-                    let buf = input[start..end].to_vec();
+                    let mut buf = exec.arena().take_u8("stream/partition");
+                    buf.extend_from_slice(&input[start..end]);
                     if tx_raw.send((buf, p + 1 == num_partitions)).is_err() {
                         return;
                     }
@@ -124,7 +129,7 @@ impl Parser {
 
             // Stage 3 — "return": collect per-partition outputs (the
             // device→host stand-in).
-            let collector = s.spawn(|_| {
+            let collector = s.spawn(move || {
                 let mut tables: Vec<Table> = Vec::new();
                 let mut reports: Vec<PartitionReport> = Vec::new();
                 let mut rejected = 0u64;
@@ -153,9 +158,11 @@ impl Parser {
                 while let Ok((buf, is_last)) = rx_raw.recv() {
                     let raw_len = buf.len() as u64;
                     let carry_bytes = carry.len() as u64;
-                    let mut work = carry;
+                    let mut work = exec.arena().take_u8("stream/work");
+                    work.extend_from_slice(&carry);
                     work.extend_from_slice(&buf);
-                    drop(buf);
+                    exec.arena().put_u8("stream/partition", buf);
+                    carry.clear();
 
                     if header_pending {
                         match strip_header(base.dfa(), &work, is_last) {
@@ -165,7 +172,8 @@ impl Parser {
                                 header_pending = false;
                             }
                             HeaderSplit::NeedMore => {
-                                carry = work;
+                                std::mem::swap(&mut carry, &mut work);
+                                exec.arena().put_u8("stream/work", work);
                                 continue;
                             }
                         }
@@ -177,11 +185,8 @@ impl Parser {
                         None => &base,
                     };
                     let tw = Instant::now();
-                    let (out, carry_len): (ParseOutput, usize) = if is_last {
-                        (active.parse(&work)?, 0)
-                    } else {
-                        active.parse_partition(&work)?
-                    };
+                    let (out, carry_len): (ParseOutput, usize) =
+                        active.parse_with(exec, &work, !is_last)?;
                     let parse_wall = tw.elapsed();
                     if parser.is_none()
                         && out.stats.num_records > 0
@@ -192,7 +197,8 @@ impl Parser {
                         parser = Some(Parser::new(self.dfa().clone(), opts));
                     }
 
-                    carry = work[work.len() - carry_len..].to_vec();
+                    carry.extend_from_slice(&work[work.len() - carry_len..]);
+                    exec.arena().put_u8("stream/work", work);
                     let report = PartitionReport {
                         input_bytes: raw_len,
                         carry_bytes,
@@ -213,7 +219,7 @@ impl Parser {
             drop(rx_raw);
 
             let (tables, reports, rejected) = collector.join().expect("collector panicked");
-            result = parse_result.map(|()| {
+            parse_result.map(|()| {
                 // Zero-row partitions (fully carried over) may predate the
                 // schema freeze; they contribute nothing, so drop them.
                 let refs: Vec<&Table> = tables.iter().filter(|t| t.num_rows() > 0).collect();
@@ -231,11 +237,8 @@ impl Parser {
                     rejected_records: rejected,
                     wall: t0.elapsed(),
                 }
-            });
+            })
         })
-        .expect("streaming thread panicked");
-
-        result
     }
 }
 
@@ -418,6 +421,7 @@ mod tests {
 /// ([`Parser::parse_stream`] does the latter).
 pub struct PartitionIter<'a> {
     parser: Parser,
+    exec: KernelExecutor,
     input: &'a [u8],
     partition_size: usize,
     pos: usize,
@@ -444,8 +448,10 @@ impl Parser {
         let header_pending = self.options().header;
         let mut opts = self.options().clone();
         opts.header = false;
+        let exec = KernelExecutor::new(opts.grid.clone());
         PartitionIter {
             parser: Parser::new(self.dfa().clone(), opts),
+            exec,
             input,
             partition_size: partition_size.max(1),
             pos: 0,
@@ -484,16 +490,12 @@ impl Iterator for PartitionIter<'_> {
                 }
             }
 
-            let result = if is_last {
-                self.parser.parse(&work).map(|o| o.table)
-            } else {
-                match self.parser.parse_partition(&work) {
-                    Ok((out, carry_len)) => {
-                        self.carry = work[work.len() - carry_len..].to_vec();
-                        Ok(out.table)
-                    }
-                    Err(e) => Err(e),
+            let result = match self.parser.parse_with(&self.exec, &work, !is_last) {
+                Ok((out, carry_len)) => {
+                    self.carry = work[work.len() - carry_len..].to_vec();
+                    Ok(out.table)
                 }
+                Err(e) => Err(e),
             };
 
             match result {
@@ -555,10 +557,7 @@ mod iter_tests {
             .into_bytes();
         let p = parser(false);
         let mono = p.parse(&input).unwrap();
-        let batches: Vec<Table> = p
-            .partitions(&input, 64)
-            .collect::<Result<_, _>>()
-            .unwrap();
+        let batches: Vec<Table> = p.partitions(&input, 64).collect::<Result<_, _>>().unwrap();
         assert!(batches.len() > 1);
         let total: usize = batches.iter().map(|b| b.num_rows()).sum();
         assert_eq!(total, mono.table.num_rows());
@@ -571,16 +570,13 @@ mod iter_tests {
     fn header_applies_to_every_batch() {
         let input = b"id,v\n1,10\n2,20\n3,30\n4,40\n";
         let p = parser(true);
-        let batches: Vec<Table> = p
-            .partitions(input, 8)
-            .collect::<Result<_, _>>()
-            .unwrap();
+        let batches: Vec<Table> = p.partitions(input, 8).collect::<Result<_, _>>().unwrap();
         for b in &batches {
             assert_eq!(b.schema().fields[0].name, "id");
         }
         let total: usize = batches.iter().map(|b| b.num_rows()).sum();
         assert_eq!(total, 4);
-        assert_eq!(batches.last().unwrap().value(0, 1).is_null(), false);
+        assert!(!batches.last().unwrap().value(0, 1).is_null());
     }
 
     #[test]
@@ -611,13 +607,10 @@ mod iter_tests {
     fn quoted_field_across_many_batches() {
         let mut input = Vec::new();
         input.extend_from_slice(b"a,\"");
-        input.extend(std::iter::repeat(b'x').take(500));
+        input.extend(std::iter::repeat_n(b'x', 500));
         input.extend_from_slice(b"\",z\nb,c,d\n");
         let p = parser(false);
-        let batches: Vec<Table> = p
-            .partitions(&input, 32)
-            .collect::<Result<_, _>>()
-            .unwrap();
+        let batches: Vec<Table> = p.partitions(&input, 32).collect::<Result<_, _>>().unwrap();
         let total: usize = batches.iter().map(|b| b.num_rows()).sum();
         assert_eq!(total, 2);
         let first_batch_with_rows = batches.iter().find(|b| b.num_rows() > 0).unwrap();

@@ -24,10 +24,9 @@
 use crate::chunks::{chunk_ranges, num_chunks};
 use crate::meta::MetaPass;
 use crate::options::TaggingMode;
-use parparaw_device::WorkProfile;
 use parparaw_parallel::grid::SlotWriter;
 use parparaw_parallel::scan;
-use parparaw_parallel::{AtomicBitmap, Bitmap, Grid};
+use parparaw_parallel::{AtomicBitmap, Bitmap, KernelExecutor};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Static configuration for the tagging pass.
@@ -75,13 +74,26 @@ pub struct Tagged {
     pub rejected: Bitmap,
     /// True when inline mode found the terminator byte inside field data.
     pub terminator_clash: bool,
-    /// Work profile of both tagging passes.
-    pub profile: WorkProfile,
 }
 
-/// Run the two-pass tagging kernel.
+/// Destination writers for one chunk's emission: symbols, column tags,
+/// optional row tags, optional delimiter flags, and the chunk's base
+/// offset into each of them.
+type EmitSinks<'a> = (
+    &'a SlotWriter<'a, u8>,
+    &'a SlotWriter<'a, u32>,
+    Option<&'a SlotWriter<'a, u32>>,
+    Option<&'a SlotWriter<'a, bool>>,
+    usize,
+);
+
+/// Run the two-pass tagging kernel as one instrumented `tag` launch.
+///
+/// The symbol/tag arrays come from the executor's arena (labels
+/// `tag/symbols`, `tag/col-tags`, `tag/rec-tags`), so repeated runs on one
+/// executor — the streaming path — reuse their allocations.
 pub fn tag_symbols(
-    grid: &Grid,
+    exec: &KernelExecutor,
     input: &[u8],
     chunk_size: usize,
     meta: &MetaPass,
@@ -101,7 +113,7 @@ pub fn tag_symbols(
 
     // Shared chunk walker. `emit(pos_in_chunk_emission, byte, out_col,
     // out_row, is_delim)` is called for every relevant symbol.
-    let walk = |c: usize, mut emit: Option<(&SlotWriter<u8>, &SlotWriter<u32>, Option<&SlotWriter<u32>>, Option<&SlotWriter<bool>>, usize)>, mark: bool| -> u64 {
+    let walk = |c: usize, mut emit: Option<EmitSinks<'_>>, mark: bool| -> u64 {
         let mut rec = meta.record_offsets[c];
         let mut col = meta.col_offsets[c];
         let mut count = 0u64;
@@ -110,18 +122,17 @@ pub fn tag_symbols(
             let is_rec = meta.records.get(i);
             let is_fld = !is_rec && meta.fields.get(i);
             if mark && meta.rejects.get(i) {
-                if let Some(r) = cfg.out_row(rec) {
+                // A control-only trailing segment (say a stray \r after the
+                // last newline) can carry reject bits without forming a
+                // trailing record; there is no output row to attach them to.
+                if let Some(r) = cfg.out_row(rec).filter(|&r| r < cfg.num_out_rows) {
                     rejected.set(r as usize);
                 }
             }
             if is_rec || is_fld {
                 // The delimiter ends the field at (rec, col).
                 if include_delims {
-                    let kept = cfg
-                        .out_row(rec)
-                        .zip(map_col(cfg.col_map, col))
-                        .map(|(r, oc)| (r, oc));
-                    if let Some((r, oc)) = kept {
+                    if let Some((r, oc)) = cfg.out_row(rec).zip(map_col(cfg.col_map, col)) {
                         if let Some((sym, ct, rt, fl, base)) = emit.as_mut() {
                             let dst = *base + count as usize;
                             let byte_out = terminator.unwrap_or(b);
@@ -185,42 +196,48 @@ pub fn tag_symbols(
         count
     };
 
-    // Pass A: count emissions (and mark rejects / clashes once).
-    let counts: Vec<u64> = grid.map_indexed(n_chunks, |c| walk(c, None, true));
-    let (offsets, total) = scan::exclusive_scan_total(grid, &counts, &scan::AddOp);
-    let total = total as usize;
-
-    // Pass B: emit into pre-sized global arrays.
-    let mut symbols = vec![0u8; total];
-    let mut col_tags = vec![0u32; total];
     let want_rec_tags = matches!(cfg.mode, TaggingMode::RecordTagged);
-    let mut rec_tags = vec![0u32; if want_rec_tags { total } else { 0 }];
     let want_flags = matches!(cfg.mode, TaggingMode::VectorDelimited);
-    let mut flags = vec![false; if want_flags { total } else { 0 }];
-    {
-        let sym_w = SlotWriter::new(&mut symbols);
-        let ct_w = SlotWriter::new(&mut col_tags);
-        let rt_w = SlotWriter::new(&mut rec_tags);
-        let fl_w = SlotWriter::new(&mut flags);
-        grid.run_partitioned(n_chunks, |_, range| {
-            for c in range {
-                let rt = want_rec_tags.then_some(&rt_w);
-                let fl = want_flags.then_some(&fl_w);
-                walk(c, Some((&sym_w, &ct_w, rt, fl, offsets[c] as usize)), false);
-            }
-        });
-    }
 
-    // Work profile: two passes over the input plus the emission writes.
-    let per_symbol_out = 1
-        + 4
-        + if want_rec_tags { 4 } else { 0 }
-        + if want_flags { 1 } else { 0 };
-    let mut profile = WorkProfile::new("tag");
-    profile.kernel_launches = 2;
-    profile.bytes_read = 2 * (n as u64 + n as u64 / 2); // input + bitmaps, twice
-    profile.bytes_written = total as u64 * per_symbol_out as u64;
-    profile.parallel_ops = 2 * n as u64;
+    let (symbols, col_tags, rec_tags, flags) = exec.launch("tag", n_chunks, |grid, counters| {
+        // Pass A: count emissions (and mark rejects / clashes once).
+        let counts: Vec<u64> = grid.map_indexed(n_chunks, |c| walk(c, None, true));
+        let (offsets, total) = scan::exclusive_scan_total(grid, &counts, &scan::AddOp);
+        let total = total as usize;
+
+        // Pass B: emit into pre-sized arena-backed arrays.
+        let arena = exec.arena();
+        let mut symbols = arena.take_u8("tag/symbols");
+        symbols.resize(total, 0);
+        let mut col_tags = arena.take_u32("tag/col-tags");
+        col_tags.resize(total, 0);
+        let mut rec_tags = arena.take_u32("tag/rec-tags");
+        rec_tags.resize(if want_rec_tags { total } else { 0 }, 0);
+        let mut flags = vec![false; if want_flags { total } else { 0 }];
+        {
+            let sym_w = SlotWriter::new(&mut symbols);
+            let ct_w = SlotWriter::new(&mut col_tags);
+            let rt_w = SlotWriter::new(&mut rec_tags);
+            let fl_w = SlotWriter::new(&mut flags);
+            grid.run_partitioned(n_chunks, |_, range| {
+                for c in range {
+                    let rt = want_rec_tags.then_some(&rt_w);
+                    let fl = want_flags.then_some(&fl_w);
+                    walk(c, Some((&sym_w, &ct_w, rt, fl, offsets[c] as usize)), false);
+                }
+            });
+        }
+
+        // Work counters: two passes over the input plus the emission writes.
+        let per_symbol_out =
+            1 + 4 + if want_rec_tags { 4 } else { 0 } + if want_flags { 1 } else { 0 };
+        counters.kernel_launches = 2;
+        counters.bytes_read = 2 * (n as u64 + n as u64 / 2); // input + bitmaps, twice
+        counters.bytes_written = total as u64 * per_symbol_out as u64;
+        counters.parallel_ops = 2 * n as u64;
+
+        (symbols, col_tags, rec_tags, flags)
+    });
 
     Tagged {
         symbols,
@@ -229,7 +246,6 @@ pub fn tag_symbols(
         delim_flags: want_flags.then_some(flags),
         rejected: rejected.into_bitmap(),
         terminator_clash: clash.load(Ordering::Relaxed),
-        profile,
     }
 }
 
@@ -241,16 +257,18 @@ fn map_col(col_map: &[Option<u32>], col: u32) -> Option<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::determine_contexts;
+    use crate::context::determine_contexts_with;
     use crate::meta::identify_columns_and_records;
+    use crate::options::ScanAlgorithm;
     use parparaw_dfa::csv::rfc4180_paper;
+    use parparaw_parallel::Grid;
 
-    fn run_meta(input: &[u8], chunk_size: usize, workers: usize) -> (Grid, MetaPass) {
+    fn run_meta(input: &[u8], chunk_size: usize, workers: usize) -> (KernelExecutor, MetaPass) {
         let dfa = rfc4180_paper();
-        let grid = Grid::new(workers);
-        let ctx = determine_contexts(&grid, &dfa, input, chunk_size);
-        let meta = identify_columns_and_records(&grid, &dfa, input, chunk_size, &ctx.start_states);
-        (grid, meta)
+        let exec = KernelExecutor::new(Grid::new(workers));
+        let ctx = determine_contexts_with(&exec, &dfa, input, chunk_size, ScanAlgorithm::Blocked);
+        let meta = identify_columns_and_records(&exec, &dfa, input, chunk_size, &ctx.start_states);
+        (exec, meta)
     }
 
     fn identity_map(n: usize) -> Vec<Option<u32>> {
@@ -261,7 +279,7 @@ mod tests {
     fn record_tagged_matches_figure5() {
         // Fig. 4/5 input: tags per symbol for the Bookcase example.
         let input = b"1941,199.99,\"Bookcase\"\n1938,19.99,\"Frame\n\"\"Ribba\"\", black\"\n";
-        let (grid, meta) = run_meta(input, 10, 3);
+        let (exec, meta) = run_meta(input, 10, 3);
         let col_map = identity_map(3);
         let cfg = TagConfig {
             mode: TaggingMode::RecordTagged,
@@ -270,7 +288,7 @@ mod tests {
             expected_columns: None,
             num_out_rows: meta.num_records,
         };
-        let t = tag_symbols(&grid, input, 10, &meta, &cfg);
+        let t = tag_symbols(&exec, input, 10, &meta, &cfg);
         // CSS content: all data symbols, no quotes/delims.
         let s: Vec<u8> = t.symbols.clone();
         assert_eq!(
@@ -289,7 +307,7 @@ mod tests {
     fn inline_terminated_matches_figure6() {
         // Paper Fig. 6: 0,"Apples"\n1,\n2,"Pears"\n
         let input = b"0,\"Apples\"\n1,\n2,\"Pears\"\n";
-        let (grid, meta) = run_meta(input, 5, 2);
+        let (exec, meta) = run_meta(input, 5, 2);
         let col_map = identity_map(2);
         let cfg = TagConfig {
             mode: TaggingMode::InlineTerminated { terminator: 0 },
@@ -298,7 +316,7 @@ mod tests {
             expected_columns: None,
             num_out_rows: meta.num_records,
         };
-        let t = tag_symbols(&grid, input, 5, &meta, &cfg);
+        let t = tag_symbols(&exec, input, 5, &meta, &cfg);
         // Column 1's portion (after partitioning) will be
         // Apples\0\0Pears\0; before partitioning symbols interleave, so
         // filter by tag here.
@@ -317,14 +335,14 @@ mod tests {
             .filter(|(_, &c)| c == 0)
             .map(|(&b, _)| b)
             .collect();
-        assert_eq!(col0, b"0\01\02\0");
+        assert_eq!(col0, b"0\x001\x002\x00");
         assert!(t.rec_tags.is_empty());
     }
 
     #[test]
     fn vector_delimited_keeps_original_bytes() {
         let input = b"0,\"Apples\"\n1,\n2,\"Pears\"\n";
-        let (grid, meta) = run_meta(input, 7, 2);
+        let (exec, meta) = run_meta(input, 7, 2);
         let col_map = identity_map(2);
         let cfg = TagConfig {
             mode: TaggingMode::VectorDelimited,
@@ -333,7 +351,7 @@ mod tests {
             expected_columns: None,
             num_out_rows: meta.num_records,
         };
-        let t = tag_symbols(&grid, input, 7, &meta, &cfg);
+        let t = tag_symbols(&exec, input, 7, &meta, &cfg);
         let flags = t.delim_flags.as_ref().unwrap();
         let col1: Vec<(u8, bool)> = t
             .symbols
@@ -349,14 +367,17 @@ mod tests {
         let flagged: Vec<bool> = col1.iter().map(|p| p.1).collect();
         assert_eq!(
             flagged,
-            [false, false, false, false, false, false, true, true, false, false, false, false, false, true]
+            [
+                false, false, false, false, false, false, true, true, false, false, false, false,
+                false, true
+            ]
         );
     }
 
     #[test]
     fn skipping_records_and_columns() {
         let input = b"a,b,c\nd,e,f\ng,h,i\n";
-        let (grid, meta) = run_meta(input, 4, 2);
+        let (exec, meta) = run_meta(input, 4, 2);
         // Keep only columns 0 and 2, skip record 1.
         let col_map = vec![Some(0), None, Some(1)];
         let cfg = TagConfig {
@@ -366,7 +387,7 @@ mod tests {
             expected_columns: None,
             num_out_rows: meta.num_records - 1,
         };
-        let t = tag_symbols(&grid, input, 4, &meta, &cfg);
+        let t = tag_symbols(&exec, input, 4, &meta, &cfg);
         assert_eq!(String::from_utf8_lossy(&t.symbols), "acgi");
         assert_eq!(t.col_tags, vec![0, 1, 0, 1]);
         assert_eq!(t.rec_tags, vec![0, 0, 1, 1]);
@@ -375,7 +396,7 @@ mod tests {
     #[test]
     fn column_count_validation_rejects() {
         let input = b"1,2\n3\n4,5\n";
-        let (grid, meta) = run_meta(input, 3, 1);
+        let (exec, meta) = run_meta(input, 3, 1);
         let col_map = identity_map(2);
         let cfg = TagConfig {
             mode: TaggingMode::RecordTagged,
@@ -384,7 +405,7 @@ mod tests {
             expected_columns: Some(2),
             num_out_rows: meta.num_records,
         };
-        let t = tag_symbols(&grid, input, 3, &meta, &cfg);
+        let t = tag_symbols(&exec, input, 3, &meta, &cfg);
         assert!(!t.rejected.get(0));
         assert!(t.rejected.get(1), "record with 1 column must reject");
         assert!(!t.rejected.get(2));
@@ -393,7 +414,7 @@ mod tests {
     #[test]
     fn terminator_clash_detected() {
         let input = b"a\x1fb,c\n";
-        let (grid, meta) = run_meta(input, 3, 1);
+        let (exec, meta) = run_meta(input, 3, 1);
         let col_map = identity_map(2);
         let cfg = TagConfig {
             mode: TaggingMode::InlineTerminated { terminator: 0x1F },
@@ -402,14 +423,14 @@ mod tests {
             expected_columns: None,
             num_out_rows: meta.num_records,
         };
-        let t = tag_symbols(&grid, input, 3, &meta, &cfg);
+        let t = tag_symbols(&exec, input, 3, &meta, &cfg);
         assert!(t.terminator_clash);
     }
 
     #[test]
     fn extra_columns_are_dropped() {
         let input = b"a,b,EXTRA\nc,d\n";
-        let (grid, meta) = run_meta(input, 5, 2);
+        let (exec, meta) = run_meta(input, 5, 2);
         let col_map = identity_map(2); // only 2 columns kept
         let cfg = TagConfig {
             mode: TaggingMode::RecordTagged,
@@ -418,7 +439,7 @@ mod tests {
             expected_columns: None,
             num_out_rows: meta.num_records,
         };
-        let t = tag_symbols(&grid, input, 5, &meta, &cfg);
+        let t = tag_symbols(&exec, input, 5, &meta, &cfg);
         assert_eq!(String::from_utf8_lossy(&t.symbols), "abcd");
     }
 
@@ -426,7 +447,7 @@ mod tests {
     fn deterministic_across_chunk_sizes_and_workers() {
         let input = b"x,\"y,\ny\",z\n1,\"2\",3\n,,\na,b,c";
         let reference = {
-            let (grid, meta) = run_meta(input, 6, 1);
+            let (exec, meta) = run_meta(input, 6, 1);
             let col_map = identity_map(3);
             let cfg = TagConfig {
                 mode: TaggingMode::RecordTagged,
@@ -435,11 +456,11 @@ mod tests {
                 expected_columns: None,
                 num_out_rows: meta.num_records,
             };
-            tag_symbols(&grid, input, 6, &meta, &cfg)
+            tag_symbols(&exec, input, 6, &meta, &cfg)
         };
         for chunk_size in [1usize, 3, 10, 31, 200] {
             for workers in [1usize, 4] {
-                let (grid, meta) = run_meta(input, chunk_size, workers);
+                let (exec, meta) = run_meta(input, chunk_size, workers);
                 let col_map = identity_map(3);
                 let cfg = TagConfig {
                     mode: TaggingMode::RecordTagged,
@@ -448,7 +469,7 @@ mod tests {
                     expected_columns: None,
                     num_out_rows: meta.num_records,
                 };
-                let t = tag_symbols(&grid, input, chunk_size, &meta, &cfg);
+                let t = tag_symbols(&exec, input, chunk_size, &meta, &cfg);
                 assert_eq!(t.symbols, reference.symbols, "cs={chunk_size} w={workers}");
                 assert_eq!(t.col_tags, reference.col_tags);
                 assert_eq!(t.rec_tags, reference.rec_tags);

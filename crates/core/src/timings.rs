@@ -2,7 +2,7 @@
 
 use parparaw_columnar::Table;
 use parparaw_device::{CostModel, WorkProfile};
-use parparaw_parallel::Bitmap;
+use parparaw_parallel::{Bitmap, LaunchRecord};
 use std::time::Duration;
 
 /// Wall-clock time spent in each pipeline phase (the categories of paper
@@ -22,6 +22,23 @@ pub struct PhaseTimings {
 }
 
 impl PhaseTimings {
+    /// Aggregate an executor launch log into the five phase buckets by
+    /// each record's label prefix (`parse/pass1` → `parse`).
+    pub fn from_log(log: &[LaunchRecord]) -> Self {
+        let mut t = PhaseTimings::default();
+        for r in log {
+            match r.phase() {
+                "parse" => t.parse += r.wall,
+                "scan" => t.scan += r.wall,
+                "tag" => t.tag += r.wall,
+                "partition" => t.partition += r.wall,
+                "convert" => t.convert += r.wall,
+                _ => {}
+            }
+        }
+        t
+    }
+
     /// Total across phases.
     pub fn total(&self) -> Duration {
         self.parse + self.scan + self.tag + self.partition + self.convert

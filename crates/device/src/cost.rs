@@ -19,6 +19,7 @@
 //! inputs inefficient, paper §5.1), and serial work obeys Amdahl.
 
 use crate::config::DeviceConfig;
+use parparaw_parallel::LaunchRecord;
 
 /// Measured work of one phase or kernel.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -43,6 +44,22 @@ impl WorkProfile {
         WorkProfile {
             label: label.to_string(),
             ..Default::default()
+        }
+    }
+
+    /// Build a profile straight from a [`KernelExecutor`] launch record —
+    /// the cost model sees exactly one profile per kernel, with the
+    /// label the executor logged.
+    ///
+    /// [`KernelExecutor`]: parparaw_parallel::KernelExecutor
+    pub fn from_launch(record: &LaunchRecord) -> Self {
+        WorkProfile {
+            label: record.label.clone(),
+            kernel_launches: record.kernel_launches,
+            bytes_read: record.bytes_read,
+            bytes_written: record.bytes_written,
+            parallel_ops: record.parallel_ops,
+            serial_ops: record.serial_ops,
         }
     }
 
@@ -91,6 +108,14 @@ impl CostModel {
     /// on the device).
     pub fn seconds_total(&self, phases: &[WorkProfile]) -> f64 {
         phases.iter().map(|p| self.seconds(p)).sum()
+    }
+
+    /// Simulated seconds for an executor launch log: one kernel per
+    /// [`LaunchRecord`], run back to back.
+    pub fn seconds_of_log(&self, log: &[LaunchRecord]) -> f64 {
+        log.iter()
+            .map(|r| self.seconds(&WorkProfile::from_launch(r)))
+            .sum()
     }
 
     /// Simulated parsing rate in GB/s for `input_bytes` of input.

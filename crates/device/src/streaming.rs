@@ -155,7 +155,11 @@ mod tests {
         let p = plan(1, 128 << 20, 64 << 20, 0.010);
         let r = p.simulate(&model());
         let expect = p.link.h2d_seconds(128 << 20) + 0.010 + p.link.d2h_seconds(64 << 20);
-        assert!((r.total_seconds - expect).abs() < 1e-9, "{}", r.total_seconds);
+        assert!(
+            (r.total_seconds - expect).abs() < 1e-9,
+            "{}",
+            r.total_seconds
+        );
     }
 
     #[test]
@@ -183,7 +187,11 @@ mod tests {
         let r = p.simulate(&model());
         let transfer_total: f64 = (0..n).map(|_| p.link.h2d_seconds(bytes)).sum();
         assert!(r.total_seconds >= transfer_total);
-        assert!(r.total_seconds < transfer_total * 1.15, "{}", r.total_seconds);
+        assert!(
+            r.total_seconds < transfer_total * 1.15,
+            "{}",
+            r.total_seconds
+        );
     }
 
     #[test]
@@ -194,11 +202,7 @@ mod tests {
         p.partitions[1].carry_bytes = 1 << 30; // pathological 1 GiB carry
         let r = p.simulate(&model());
         let spans = r.timeline.spans();
-        let co1_end = spans
-            .iter()
-            .find(|s| s.label == "copy c/o p1")
-            .unwrap()
-            .end;
+        let co1_end = spans.iter().find(|s| s.label == "copy c/o p1").unwrap().end;
         let t2_start = spans
             .iter()
             .find(|s| s.label == "transfer p2")

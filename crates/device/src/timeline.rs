@@ -163,34 +163,33 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomised_tests {
     use super::*;
-    use proptest::prelude::*;
+    use parparaw_parallel::SplitMix64;
 
-    proptest! {
-        #[test]
-        fn schedules_respect_all_invariants(
-            tasks in proptest::collection::vec(
-                (0usize..3, proptest::collection::vec(any::<proptest::sample::Index>(), 0..3), 0.0f64..10.0),
-                0..40,
-            ),
-        ) {
-            let resources = ["H2D", "GPU", "D2H"];
+    #[test]
+    fn schedules_respect_all_invariants() {
+        let resources = ["H2D", "GPU", "D2H"];
+        let mut rng = SplitMix64::new(0x71e);
+        for case in 0..64 {
+            let n_tasks = rng.next_below(40) as usize;
             let mut tl = Timeline::new();
             let mut ids: Vec<TaskId> = Vec::new();
-            for (r, dep_idx, dur) in &tasks {
-                let deps: Vec<TaskId> = dep_idx
-                    .iter()
+            for _ in 0..n_tasks {
+                let r = rng.next_below(3) as usize;
+                let dur = rng.next_f64() * 10.0;
+                let n_deps = rng.next_below(3) as usize;
+                let deps: Vec<TaskId> = (0..n_deps)
                     .filter(|_| !ids.is_empty())
-                    .map(|ix| ids[ix.index(ids.len())])
+                    .map(|_| ids[rng.next_below(ids.len() as u64) as usize])
                     .collect();
-                let id = tl.schedule("t", resources[*r], &deps, *dur);
+                let id = tl.schedule("t", resources[r], &deps, dur);
                 // Invariants: duration respected, deps finished first.
                 let span = tl.span(id).clone();
-                prop_assert!(span.end >= span.start);
-                prop_assert!((span.end - span.start - dur).abs() < 1e-9);
+                assert!(span.end >= span.start, "case {case}");
+                assert!((span.end - span.start - dur).abs() < 1e-9, "case {case}");
                 for d in &deps {
-                    prop_assert!(tl.span(*d).end <= span.start + 1e-9);
+                    assert!(tl.span(*d).end <= span.start + 1e-9, "case {case}");
                 }
                 ids.push(id);
             }
@@ -204,12 +203,12 @@ mod proptests {
                     .collect();
                 spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
                 for w in spans.windows(2) {
-                    prop_assert!(w[0].1 <= w[1].0 + 1e-9, "{:?}", w);
+                    assert!(w[0].1 <= w[1].0 + 1e-9, "case {case}: {w:?}");
                 }
             }
             // Makespan = max end.
             let max_end = tl.spans().iter().map(|s| s.end).fold(0.0f64, f64::max);
-            prop_assert!((tl.makespan() - max_end).abs() < 1e-12);
+            assert!((tl.makespan() - max_end).abs() < 1e-12, "case {case}");
         }
     }
 }

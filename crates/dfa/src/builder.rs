@@ -113,7 +113,13 @@ impl DfaBuilder {
 
     /// Declare the transition taken when reading a symbol of `group` while
     /// in `from`, moving to `to` with semantic `emit`.
-    pub fn transition(&mut self, from: StateId, group: GroupId, to: StateId, emit: Emit) -> &mut Self {
+    pub fn transition(
+        &mut self,
+        from: StateId,
+        group: GroupId,
+        to: StateId,
+        emit: Emit,
+    ) -> &mut Self {
         let num_groups = self.group_symbols.len() + 1; // + catch-all
         let idx = group.0 as usize * MAX_STATES + from.0 as usize;
         if self.transitions.len() < num_groups * MAX_STATES {
@@ -154,15 +160,12 @@ impl DfaBuilder {
         for g in 0..num_groups {
             for s in 0..num_states {
                 let idx = g * MAX_STATES + s;
-                let (to, emit) = self
-                    .transitions
-                    .get(idx)
-                    .copied()
-                    .flatten()
-                    .ok_or(DfaError::MissingTransition {
+                let (to, emit) = self.transitions.get(idx).copied().flatten().ok_or(
+                    DfaError::MissingTransition {
                         group: g as u8,
                         state: s as u8,
-                    })?;
+                    },
+                )?;
                 if to as usize >= num_states {
                     return Err(DfaError::OutOfRange);
                 }
@@ -200,7 +203,7 @@ mod tests {
         let mut b = DfaBuilder::new();
         let a = b.state("A");
         let z = b.state("Z");
-        let g = b.group(&[b'x']);
+        let g = b.group(b"x");
         let other = b.catch_all();
         b.start(a)
             .accepting(&[a, z])
@@ -221,7 +224,7 @@ mod tests {
     fn missing_transition_is_an_error() {
         let mut b = DfaBuilder::new();
         let a = b.state("A");
-        let g = b.group(&[b'x']);
+        let g = b.group(b"x");
         let _ = g;
         b.start(a);
         match b.build() {
@@ -242,7 +245,7 @@ mod tests {
     fn transition_all_groups_covers_catch_all() {
         let mut b = DfaBuilder::new();
         let a = b.state("A");
-        let _g = b.group(&[b'x']);
+        let _g = b.group(b"x");
         b.start(a).accepting(&[a]);
         b.transition_all_groups(a, a, Emit::DATA);
         let dfa = b.build().unwrap();

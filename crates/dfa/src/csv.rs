@@ -116,10 +116,10 @@ pub fn rfc4180(d: &CsvDialect) -> Dfa {
     let inv = b.state("INV");
     let cmt = d.comment.map(|_| b.state("CMT"));
 
-    let g_nl = b.group(&[b'\n']);
+    let g_nl = b.group(b"\n");
     let g_q = b.group(&[d.quote]);
     let g_d = b.group(&[d.delimiter]);
-    let g_cr = d.accept_cr.then(|| b.group(&[b'\r']));
+    let g_cr = d.accept_cr.then(|| b.group(b"\r"));
     let g_cm = d.comment.map(|c| b.group(&[c]));
     let g_any = b.catch_all();
 
@@ -207,7 +207,8 @@ pub fn rfc4180(d: &CsvDialect) -> Dfa {
     }
     b.accepting(&accepting);
 
-    b.build().expect("rfc4180 automaton is complete by construction")
+    b.build()
+        .expect("rfc4180 automaton is complete by construction")
 }
 
 /// The paper's exact six-state automaton (`CsvDialect::paper()`).
@@ -237,7 +238,8 @@ mod tests {
         let dfa = rfc4180_paper();
         let want: [[u8; 6]; 4] = [
             // from:      EOR    ENC    FLD    EOF    ESC    INV
-            /* \n */ [S_EOR, S_ENC, S_EOR, S_EOR, S_EOR, S_INV],
+            /* \n */
+            [S_EOR, S_ENC, S_EOR, S_EOR, S_EOR, S_INV],
             /* "  */ [S_ENC, S_ESC, S_INV, S_ENC, S_ENC, S_INV],
             /* ,  */ [S_EOF, S_ENC, S_EOF, S_EOF, S_EOF, S_INV],
             /* *  */ [S_FLD, S_ENC, S_FLD, S_FLD, S_INV, S_INV],
@@ -357,7 +359,10 @@ mod tests {
         assert!(psv.step(S_FLD, b'|').emit.is_field_delimiter());
         let scsv = rfc4180(&CsvDialect::semicolon());
         assert!(scsv.step(S_FLD, b';').emit.is_field_delimiter());
-        assert!(scsv.step(S_FLD, b',').emit.is_data(), "decimal comma is data");
+        assert!(
+            scsv.step(S_FLD, b',').emit.is_data(),
+            "decimal comma is data"
+        );
     }
 
     #[test]

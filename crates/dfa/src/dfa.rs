@@ -258,7 +258,7 @@ fn printable(b: u8) -> String {
 /// Compile-time-ish sanity: states must fit the 4-bit packing.
 pub(crate) fn assert_state_count(n: usize) {
     assert!(
-        n >= 1 && n <= MAX_STATES,
+        (1..=MAX_STATES).contains(&n),
         "DFA must have between 1 and {MAX_STATES} states, got {n}"
     );
 }

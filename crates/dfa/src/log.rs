@@ -53,13 +53,13 @@ pub fn extended_log() -> Dfa {
     let cmt = b.state("CMT");
     let inv = b.state("INV");
 
-    let g_sp = b.group(&[b' ']);
-    let g_nl = b.group(&[b'\n']);
-    let g_q = b.group(&[b'"']);
-    let g_lb = b.group(&[b'[']);
-    let g_rb = b.group(&[b']']);
-    let g_hash = b.group(&[b'#']);
-    let g_cr = b.group(&[b'\r']);
+    let g_sp = b.group(b" ");
+    let g_nl = b.group(b"\n");
+    let g_q = b.group(b"\"");
+    let g_lb = b.group(b"[");
+    let g_rb = b.group(b"]");
+    let g_hash = b.group(b"#");
+    let g_cr = b.group(b"\r");
     let g_any = b.catch_all();
 
     let rec = Emit::RECORD_DELIM;
@@ -150,7 +150,8 @@ pub fn extended_log() -> Dfa {
 
     b.start(eor);
     b.accepting(&[eor, fld, eof, esc, cmt]);
-    b.build().expect("extended-log automaton is complete by construction")
+    b.build()
+        .expect("extended-log automaton is complete by construction")
 }
 
 #[cfg(test)]

@@ -30,7 +30,11 @@ pub fn bfe(reg: u32, off: u32, len: u32) -> u32 {
 #[inline(always)]
 pub fn bfi(reg: u32, val: u32, off: u32, len: u32) -> u32 {
     debug_assert!(len <= 32);
-    let mask = if len == 32 { u32::MAX } else { (1u32 << len) - 1 } << off;
+    let mask = if len == 32 {
+        u32::MAX
+    } else {
+        (1u32 << len) - 1
+    } << off;
     (reg & !mask) | ((val << off) & mask)
 }
 
@@ -55,9 +59,9 @@ impl Mfira {
     /// Panics if `capacity` is 0 or exceeds 32 (at least one bit per item
     /// per register is required), or if `bits_per_item` is 0 or exceeds 32.
     pub fn new(capacity: u32, bits_per_item: u32) -> Self {
-        assert!(capacity >= 1 && capacity <= 32, "capacity must be in 1..=32");
+        assert!((1..=32).contains(&capacity), "capacity must be in 1..=32");
         assert!(
-            bits_per_item >= 1 && bits_per_item <= 32,
+            (1..=32).contains(&bits_per_item),
             "bits_per_item must be in 1..=32"
         );
         // Paper Figure 8: a = floor(32 / c) available bits per fragment,
@@ -141,7 +145,7 @@ impl Mfira {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use parparaw_parallel::SplitMix64;
 
     #[test]
     fn figure8_parameters() {
@@ -202,24 +206,27 @@ mod tests {
         assert_eq!(bfi(0, u32::MAX, 0, 32), u32::MAX);
     }
 
-    proptest! {
-        #[test]
-        fn behaves_like_vec_model(
-            capacity in 1u32..=32,
-            ops in proptest::collection::vec((0u32..32, any::<u32>()), 1..80),
-        ) {
-            // bits_per_item constrained so capacity*... any b in 1..=32 works
-            // because fragments spill to more registers.
-            let bits = 1 + (ops.len() as u32 % 16);
+    #[test]
+    fn behaves_like_vec_model() {
+        let mut rng = SplitMix64::new(0x3F1A_A217);
+        for case in 0..256 {
+            let capacity = rng.next_range(1, 32) as u32;
+            let bits = rng.next_range(1, 32) as u32;
+            let n_ops = rng.next_range(1, 79) as usize;
             let mut arr = Mfira::new(capacity, bits);
             let mut model = vec![0u32; capacity as usize];
-            let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
-            for (i, v) in ops {
-                let i = i % capacity;
+            let mask = if bits == 32 {
+                u32::MAX
+            } else {
+                (1u32 << bits) - 1
+            };
+            for _ in 0..n_ops {
+                let i = rng.next_below(capacity as u64) as u32;
+                let v = rng.next_u64() as u32;
                 arr.set(i, v);
                 model[i as usize] = v & mask;
                 for (j, &m) in model.iter().enumerate() {
-                    prop_assert_eq!(arr.get(j as u32), m);
+                    assert_eq!(arr.get(j as u32), m, "case {case}");
                 }
             }
         }

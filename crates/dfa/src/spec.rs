@@ -131,7 +131,9 @@ pub fn parse_spec(text: &str) -> Result<Dfa, SpecError> {
                 }
             }
             "start" => {
-                let name = toks.get(1).ok_or_else(|| err(line_no, "start needs a state"))?;
+                let name = toks
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "start needs a state"))?;
                 let s = states
                     .get(*name)
                     .ok_or_else(|| err(line_no, format!("unknown state {name}")))?;
@@ -151,7 +153,9 @@ pub fn parse_spec(text: &str) -> Result<Dfa, SpecError> {
                 accepted = true;
             }
             "group" => {
-                let name = toks.get(1).ok_or_else(|| err(line_no, "group needs a name"))?;
+                let name = toks
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "group needs a name"))?;
                 if *name == "*" || groups.contains_key(*name) {
                     return Err(err(line_no, format!("bad or duplicate group {name}")));
                 }
@@ -367,14 +371,20 @@ A *  -> A data
         assert!(e.to_string().contains("->"));
 
         let unknown_state = "states A\nstart B\naccept A\n";
-        assert!(parse_spec(unknown_state).unwrap_err().to_string().contains("unknown state"));
+        assert!(parse_spec(unknown_state)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown state"));
 
         let incomplete = "states A B\nstart A\naccept A\nA * -> A data\n";
         let e = parse_spec(incomplete).unwrap_err();
         assert!(e.to_string().contains("missing transition"), "{e}");
 
         let no_start = "states A\naccept A\nA * -> A data\n";
-        assert!(parse_spec(no_start).unwrap_err().to_string().contains("no start"));
+        assert!(parse_spec(no_start)
+            .unwrap_err()
+            .to_string()
+            .contains("no start"));
     }
 
     #[test]

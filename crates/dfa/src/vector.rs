@@ -144,8 +144,7 @@ impl ScanOp for VectorComposeOp {
 mod tests {
     use super::*;
     use parparaw_parallel::scan::{exclusive_scan_seq, inclusive_scan_seq};
-    use parparaw_parallel::{scan, Grid};
-    use proptest::prelude::*;
+    use parparaw_parallel::{scan, Grid, SplitMix64};
 
     #[test]
     fn identity_composes_neutrally() {
@@ -179,55 +178,63 @@ mod tests {
         assert_eq!(v, expect);
     }
 
-    proptest! {
-        #[test]
-        fn compose_is_associative(
-            a in proptest::collection::vec(0u8..6, 6),
-            b in proptest::collection::vec(0u8..6, 6),
-            c in proptest::collection::vec(0u8..6, 6),
-        ) {
-            let (a, b, c) = (
-                StateVector::from_entries(&a),
-                StateVector::from_entries(&b),
-                StateVector::from_entries(&c),
-            );
-            prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
-        }
+    fn rand_vector(rng: &mut SplitMix64) -> StateVector {
+        let entries = rng.vec(6, |r| r.next_below(6) as u8);
+        StateVector::from_entries(&entries)
+    }
 
-        #[test]
-        fn scan_over_vectors_matches_sequential(
-            vs in proptest::collection::vec(proptest::collection::vec(0u8..6, 6), 0..200),
-            workers in 1usize..5,
-        ) {
+    #[test]
+    fn compose_is_associative() {
+        let mut rng = SplitMix64::new(0x5EC7_0201);
+        for case in 0..512 {
+            let (a, b, c) = (
+                rand_vector(&mut rng),
+                rand_vector(&mut rng),
+                rand_vector(&mut rng),
+            );
+            assert_eq!(
+                a.compose(&b).compose(&c),
+                a.compose(&b.compose(&c)),
+                "case {case}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_over_vectors_matches_sequential() {
+        let mut rng = SplitMix64::new(0x5EC7_0202);
+        for _ in 0..48 {
             let op = VectorComposeOp::new(6);
-            let items: Vec<StateVector> =
-                vs.iter().map(|v| StateVector::from_entries(v)).collect();
+            let len = rng.next_below(200) as usize;
+            let items: Vec<StateVector> = (0..len).map(|_| rand_vector(&mut rng)).collect();
+            let workers = rng.next_range(1, 4) as usize;
             let grid = Grid::new(workers);
-            prop_assert_eq!(
+            assert_eq!(
                 scan::exclusive_scan(&grid, &items, &op),
                 exclusive_scan_seq(&items, &op)
             );
-            prop_assert_eq!(
+            assert_eq!(
                 scan::inclusive_scan(&grid, &items, &op),
                 inclusive_scan_seq(&items, &op)
             );
         }
+    }
 
-        #[test]
-        fn scan_recovers_chunk_start_states(
-            vs in proptest::collection::vec(proptest::collection::vec(0u8..6, 6), 1..60),
-            start in 0u8..6,
-        ) {
-            // Simulating "sequentially" through all chunks must agree with
-            // what each chunk reads out of the exclusive-scan result.
+    #[test]
+    fn scan_recovers_chunk_start_states() {
+        // Simulating "sequentially" through all chunks must agree with
+        // what each chunk reads out of the exclusive-scan result.
+        let mut rng = SplitMix64::new(0x5EC7_0203);
+        for case in 0..64 {
             let op = VectorComposeOp::new(6);
-            let items: Vec<StateVector> =
-                vs.iter().map(|v| StateVector::from_entries(v)).collect();
+            let len = rng.next_range(1, 59) as usize;
+            let items: Vec<StateVector> = (0..len).map(|_| rand_vector(&mut rng)).collect();
+            let start = rng.next_below(6) as u8;
             let grid = Grid::new(3);
             let scanned = scan::exclusive_scan(&grid, &items, &op);
             let mut state = start;
             for (i, item) in items.iter().enumerate() {
-                prop_assert_eq!(scanned[i].get(start), state);
+                assert_eq!(scanned[i].get(start), state, "case {case}, chunk {i}");
                 state = item.get(state);
             }
         }

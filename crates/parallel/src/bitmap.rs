@@ -66,7 +66,10 @@ impl Bitmap {
     pub fn count_ones_before(&self, i: usize) -> u64 {
         let i = i.min(self.len);
         let full = i >> 6;
-        let mut c: u64 = self.words[..full].iter().map(|w| w.count_ones() as u64).sum();
+        let mut c: u64 = self.words[..full]
+            .iter()
+            .map(|w| w.count_ones() as u64)
+            .sum();
         let rem = i & 63;
         if rem != 0 {
             c += (self.words[full] & ((1u64 << rem) - 1)).count_ones() as u64;
@@ -179,11 +182,7 @@ impl AtomicBitmap {
     /// Freeze into an immutable [`Bitmap`].
     pub fn into_bitmap(self) -> Bitmap {
         Bitmap {
-            words: self
-                .words
-                .into_iter()
-                .map(|w| w.into_inner())
-                .collect(),
+            words: self.words.into_iter().map(|w| w.into_inner()).collect(),
             len: self.len,
         }
     }
@@ -192,7 +191,7 @@ impl AtomicBitmap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SplitMix64;
 
     #[test]
     fn set_get_clear() {
@@ -257,33 +256,46 @@ mod tests {
             }
         });
         let b = ab.into_bitmap();
-        assert_eq!(b.count_ones() as usize, (0..1000).filter(|i| i % 3 == 0).count());
+        assert_eq!(
+            b.count_ones() as usize,
+            (0..1000).filter(|i| i % 3 == 0).count()
+        );
         assert!(b.get(999));
         assert!(!b.get(998));
     }
 
-    proptest! {
-        #[test]
-        fn matches_reference_model(bits in proptest::collection::vec(any::<bool>(), 0..300),
-                                   query in 0usize..310) {
+    #[test]
+    fn matches_reference_model() {
+        let mut rng = SplitMix64::new(0xb17);
+        for case in 0..96 {
+            let len = rng.next_below(300) as usize;
+            let bits = rng.vec(len, |r| r.chance(0.5));
+            let query = rng.next_below(310) as usize;
             let mut b = Bitmap::new(bits.len());
             for (i, &x) in bits.iter().enumerate() {
-                if x { b.set(i); }
+                if x {
+                    b.set(i);
+                }
             }
-            let ones: Vec<usize> = bits.iter().enumerate()
-                .filter_map(|(i, &x)| x.then_some(i)).collect();
-            prop_assert_eq!(b.count_ones() as usize, ones.len());
-            prop_assert_eq!(b.iter_ones().collect::<Vec<_>>(), ones.clone());
-            prop_assert_eq!(b.last_set_bit(), ones.last().copied());
-            prop_assert_eq!(b.first_set_bit(), ones.first().copied());
+            let ones: Vec<usize> = bits
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &x)| x.then_some(i))
+                .collect();
+            assert_eq!(b.count_ones() as usize, ones.len(), "case {case}");
+            assert_eq!(b.iter_ones().collect::<Vec<_>>(), ones, "case {case}");
+            assert_eq!(b.last_set_bit(), ones.last().copied(), "case {case}");
+            assert_eq!(b.first_set_bit(), ones.first().copied(), "case {case}");
             let q = query.min(bits.len());
-            prop_assert_eq!(
+            assert_eq!(
                 b.count_ones_before(q) as usize,
-                ones.iter().filter(|&&i| i < q).count()
+                ones.iter().filter(|&&i| i < q).count(),
+                "case {case} q {q}"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 b.count_ones_from(q) as usize,
-                ones.iter().filter(|&&i| i >= q).count()
+                ones.iter().filter(|&&i| i >= q).count(),
+                "case {case} q {q}"
             );
         }
     }

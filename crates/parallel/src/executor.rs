@@ -1,0 +1,305 @@
+//! The kernel executor: one entry point for every pipeline launch.
+//!
+//! On the GPU, every kernel launch goes through one driver call that the
+//! profiler can observe; the pipeline gets timing, occupancy and byte
+//! counts for free. This module gives the CPU pipeline the same property:
+//! [`KernelExecutor::launch`] wraps a job with wall-clock timing and a
+//! [`LaunchRecord`] carrying the job's self-reported work counters, and
+//! appends it to a launch log. Phase timings and the simulated-device
+//! cost model are both derived from that log instead of hand-threaded
+//! `Instant::now()` bookkeeping.
+//!
+//! The executor also owns a [`BufferArena`] of reusable scratch buffers
+//! keyed by launch label, so steady-state streaming (paper §4.4, one
+//! pipeline run per partition) does near-zero allocation.
+
+use crate::grid::Grid;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Work counters a launch job fills in for the cost model; the executor
+/// turns them into a [`LaunchRecord`].
+///
+/// `kernel_launches` starts at 1 (one launch per `launch()` call); jobs
+/// that model multi-kernel phases (e.g. count → scan → scatter) bump it.
+#[derive(Debug, Clone)]
+pub struct LaunchCounters {
+    /// Number of simulated GPU kernel launches this job stands for.
+    pub kernel_launches: u32,
+    /// Bytes read from memory by the launch.
+    pub bytes_read: u64,
+    /// Bytes written to memory by the launch.
+    pub bytes_written: u64,
+    /// Data-parallel operations (split across the whole grid).
+    pub parallel_ops: u64,
+    /// Inherently serial operations (single-thread critical path).
+    pub serial_ops: u64,
+}
+
+impl Default for LaunchCounters {
+    fn default() -> Self {
+        LaunchCounters {
+            kernel_launches: 1,
+            bytes_read: 0,
+            bytes_written: 0,
+            parallel_ops: 0,
+            serial_ops: 0,
+        }
+    }
+}
+
+/// One entry of the executor's launch log.
+#[derive(Debug, Clone)]
+pub struct LaunchRecord {
+    /// Label identifying the kernel, e.g. `"parse/pass1"`. The text
+    /// before the first `/` names the pipeline phase.
+    pub label: String,
+    /// Number of chunks (virtual threads) the launch covered.
+    pub n_chunks: usize,
+    /// Measured wall time of the launch.
+    pub wall: Duration,
+    /// Number of simulated GPU kernel launches.
+    pub kernel_launches: u32,
+    /// Bytes read from memory.
+    pub bytes_read: u64,
+    /// Bytes written to memory.
+    pub bytes_written: u64,
+    /// Data-parallel operations.
+    pub parallel_ops: u64,
+    /// Inherently serial operations.
+    pub serial_ops: u64,
+}
+
+impl LaunchRecord {
+    /// The pipeline phase this launch belongs to: the label text before
+    /// the first `/` (the whole label if there is none).
+    pub fn phase(&self) -> &str {
+        self.label.split('/').next().unwrap_or(&self.label)
+    }
+}
+
+/// Executes pipeline launches on a [`Grid`], recording a [`LaunchRecord`]
+/// per launch and pooling scratch buffers in a [`BufferArena`].
+#[derive(Debug)]
+pub struct KernelExecutor {
+    grid: Grid,
+    log: Mutex<Vec<LaunchRecord>>,
+    arena: BufferArena,
+}
+
+impl KernelExecutor {
+    /// Create an executor that launches on `grid`.
+    pub fn new(grid: Grid) -> Self {
+        KernelExecutor {
+            grid,
+            log: Mutex::new(Vec::new()),
+            arena: BufferArena::default(),
+        }
+    }
+
+    /// The grid launches run on.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The scratch-buffer arena shared by all launches.
+    pub fn arena(&self) -> &BufferArena {
+        &self.arena
+    }
+
+    /// Run `job` as one instrumented launch.
+    ///
+    /// The job receives the grid plus a [`LaunchCounters`] to fill in;
+    /// the executor measures wall time and appends a [`LaunchRecord`]
+    /// labelled `label` covering `n_chunks` chunks to the log.
+    pub fn launch<R>(
+        &self,
+        label: &str,
+        n_chunks: usize,
+        job: impl FnOnce(&Grid, &mut LaunchCounters) -> R,
+    ) -> R {
+        let mut counters = LaunchCounters::default();
+        let start = Instant::now();
+        let out = job(&self.grid, &mut counters);
+        let wall = start.elapsed();
+        self.log.lock().unwrap().push(LaunchRecord {
+            label: label.to_string(),
+            n_chunks,
+            wall,
+            kernel_launches: counters.kernel_launches,
+            bytes_read: counters.bytes_read,
+            bytes_written: counters.bytes_written,
+            parallel_ops: counters.parallel_ops,
+            serial_ops: counters.serial_ops,
+        });
+        out
+    }
+
+    /// Take the accumulated launch log, leaving it empty.
+    ///
+    /// Callers that reuse one executor across several pipeline runs (the
+    /// streaming path) drain the log per run; the arena keeps its buffers.
+    pub fn drain_log(&self) -> Vec<LaunchRecord> {
+        std::mem::take(&mut *self.log.lock().unwrap())
+    }
+
+    /// Number of records currently in the log.
+    pub fn log_len(&self) -> usize {
+        self.log.lock().unwrap().len()
+    }
+}
+
+macro_rules! arena_pool {
+    ($take:ident, $put:ident, $field:ident, $ty:ty) => {
+        /// Take a cleared scratch buffer for `label`, reusing a
+        /// previously returned one (and its capacity) when available.
+        pub fn $take(&self, label: &str) -> Vec<$ty> {
+            let mut pool = self.$field.lock().unwrap();
+            match pool.get_mut(label).and_then(Vec::pop) {
+                Some(mut buf) => {
+                    buf.clear();
+                    self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    buf
+                }
+                None => {
+                    self.misses
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    Vec::new()
+                }
+            }
+        }
+
+        /// Return a scratch buffer to the pool for `label` so a later
+        /// launch can reuse its allocation.
+        pub fn $put(&self, label: &str, buf: Vec<$ty>) {
+            if buf.capacity() == 0 {
+                return;
+            }
+            self.$field
+                .lock()
+                .unwrap()
+                .entry(label.to_string())
+                .or_default()
+                .push(buf);
+        }
+    };
+}
+
+/// Reusable scratch buffers keyed by launch label.
+///
+/// A buffer "taken" from the arena is owned by the caller — the arena
+/// keeps no reference to it, so two outstanding takes can never alias.
+/// "Putting" it back makes its allocation available to the next take
+/// under the same label. Buffers come back cleared but with capacity
+/// retained, which is the entire point.
+#[derive(Debug, Default)]
+pub struct BufferArena {
+    u8s: Mutex<HashMap<String, Vec<Vec<u8>>>>,
+    u32s: Mutex<HashMap<String, Vec<Vec<u32>>>>,
+    u64s: Mutex<HashMap<String, Vec<Vec<u64>>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl BufferArena {
+    arena_pool!(take_u8, put_u8, u8s, u8);
+    arena_pool!(take_u32, put_u32, u32s, u32);
+    arena_pool!(take_u64, put_u64, u64s, u64);
+
+    /// `(hits, misses)`: how many takes reused a pooled buffer vs had to
+    /// allocate fresh. Used by tests and the steady-state-streaming bench.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(std::sync::atomic::Ordering::Relaxed),
+            self.misses.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_returns_job_result_and_logs() {
+        let exec = KernelExecutor::new(Grid::new(2));
+        let sum = exec.launch("test/sum", 4, |grid, c| {
+            c.bytes_read = 16;
+            grid.map_indexed(4, |i| i as u64).iter().sum::<u64>()
+        });
+        assert_eq!(sum, 6);
+        let log = exec.drain_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].label, "test/sum");
+        assert_eq!(log[0].n_chunks, 4);
+        assert_eq!(log[0].kernel_launches, 1);
+        assert_eq!(log[0].bytes_read, 16);
+        assert_eq!(log[0].phase(), "test");
+        assert_eq!(exec.log_len(), 0);
+    }
+
+    #[test]
+    fn launch_log_order_is_deterministic_across_worker_counts() {
+        let labels = ["parse/pass1", "scan/context", "tag", "partition"];
+        let mut logs = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let exec = KernelExecutor::new(Grid::new(workers));
+            for label in labels {
+                exec.launch(label, 10, |grid, _| grid.map_indexed(10, |i| i).len());
+            }
+            logs.push(
+                exec.drain_log()
+                    .into_iter()
+                    .map(|r| (r.label, r.n_chunks))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(logs[0], logs[1]);
+        assert_eq!(logs[0], logs[2]);
+    }
+
+    #[test]
+    fn arena_reuses_capacity_across_launches() {
+        let arena = BufferArena::default();
+        let mut buf = arena.take_u8("tag");
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        arena.put_u8("tag", buf);
+
+        let again = arena.take_u8("tag");
+        assert!(again.is_empty(), "reused buffers come back cleared");
+        assert_eq!(again.capacity(), cap);
+        assert_eq!(again.as_ptr(), ptr, "same allocation handed back");
+        assert_eq!(arena.stats(), (1, 1));
+    }
+
+    #[test]
+    fn arena_never_aliases_live_buffers() {
+        let arena = BufferArena::default();
+        let mut a = arena.take_u32("scan");
+        let mut b = arena.take_u32("scan");
+        a.resize(100, 7);
+        b.resize(100, 9);
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        assert!(a.iter().all(|&x| x == 7));
+        assert!(b.iter().all(|&x| x == 9));
+
+        // Different labels are distinct pools.
+        a.clear();
+        a.shrink_to(0);
+        arena.put_u32("scan", a);
+        let c = arena.take_u32("other-label");
+        assert_eq!(c.capacity(), 0, "label 'other-label' has no pooled buffer");
+    }
+
+    #[test]
+    fn arena_ignores_zero_capacity_returns() {
+        let arena = BufferArena::default();
+        arena.put_u64("x", Vec::new());
+        assert_eq!(arena.take_u64("x").capacity(), 0);
+        let (hits, _) = arena.stats();
+        assert_eq!(hits, 0);
+    }
+}

@@ -7,27 +7,66 @@
 //! this crate is built on top of the grid, so the entire pipeline can be run
 //! with any degree of parallelism (including one worker, which executes
 //! fully inline and is what the deterministic tests use).
+//!
+//! Workers live in a persistent [`WorkerPool`] created lazily on the first
+//! parallel launch and shared by every clone of the grid — the CPU
+//! equivalent of keeping the CUDA context alive between kernels. The
+//! legacy behaviour of spawning fresh OS threads on every launch is kept
+//! behind [`LaunchMode::SpawnPerLaunch`] as a measurable baseline.
 
+use crate::pool::WorkerPool;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// How a [`Grid`] obtains its worker threads for a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchMode {
+    /// Dispatch onto a persistent pool of parked workers (the default).
+    Persistent,
+    /// Spawn fresh scoped OS threads on every launch — the pre-executor
+    /// behaviour, kept as a microbenchmark baseline.
+    SpawnPerLaunch,
+}
 
 /// A fixed-width pool descriptor for running chunk-indexed jobs.
 ///
-/// `Grid` is cheap to copy around; it holds no threads of its own. Worker
-/// threads are spawned per job via `crossbeam::thread::scope`, which lets
-/// jobs borrow from the caller's stack without `'static` bounds — the same
-/// ergonomics a GPU kernel gets by capturing device pointers.
-#[derive(Debug, Clone)]
+/// `Grid` is cheap to clone; clones share one lazily-created
+/// [`WorkerPool`], so a pipeline of many launches pays thread start-up
+/// once. Jobs borrow from the caller's stack without `'static` bounds —
+/// the same ergonomics a GPU kernel gets by capturing device pointers.
+/// The worker → chunk-range assignment is a pure function of `(n,
+/// workers)` (see [`partition`]), so results are bit-identical for any
+/// worker count and either launch mode.
+#[derive(Clone)]
 pub struct Grid {
     workers: usize,
+    mode: LaunchMode,
+    pool: Arc<OnceLock<WorkerPool>>,
+}
+
+impl std::fmt::Debug for Grid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Grid")
+            .field("workers", &self.workers)
+            .field("mode", &self.mode)
+            .finish()
+    }
 }
 
 impl Grid {
-    /// Create a grid with `workers` OS threads. `workers` is clamped to at
-    /// least 1.
+    /// Create a grid with `workers` OS threads backed by a persistent
+    /// pool. `workers` is clamped to at least 1.
     pub fn new(workers: usize) -> Self {
+        Grid::with_mode(workers, LaunchMode::Persistent)
+    }
+
+    /// Create a grid with an explicit [`LaunchMode`].
+    pub fn with_mode(workers: usize, mode: LaunchMode) -> Self {
         Grid {
             workers: workers.max(1),
+            mode,
+            pool: Arc::new(OnceLock::new()),
         }
     }
 
@@ -42,6 +81,16 @@ impl Grid {
     /// Number of worker threads this grid uses.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The launch mode this grid uses.
+    pub fn mode(&self) -> LaunchMode {
+        self.mode
+    }
+
+    /// The shared persistent pool, created on first use.
+    fn pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(|| WorkerPool::new(self.workers))
     }
 
     /// Split `n` items into one contiguous range per worker.
@@ -66,13 +115,21 @@ impl Grid {
             }
             return;
         }
-        crossbeam::thread::scope(|s| {
-            for (w, r) in parts.into_iter().enumerate() {
-                let f = &f;
-                s.spawn(move |_| f(w, r));
+        match self.mode {
+            LaunchMode::Persistent => {
+                let parts = &parts;
+                self.pool()
+                    .dispatch(parts.len(), &|w| f(w, parts[w].clone()));
             }
-        })
-        .expect("grid worker panicked");
+            LaunchMode::SpawnPerLaunch => {
+                std::thread::scope(|s| {
+                    for (w, r) in parts.into_iter().enumerate() {
+                        let f = &f;
+                        s.spawn(move || f(w, r));
+                    }
+                });
+            }
+        }
     }
 
     /// Run `f(i)` for every `i in 0..n`, dynamically load balanced.
@@ -92,23 +149,27 @@ impl Grid {
             return;
         }
         let next = AtomicUsize::new(0);
-        crossbeam::thread::scope(|s| {
-            for _ in 0..self.workers {
-                let f = &f;
-                let next = &next;
-                s.spawn(move |_| loop {
-                    let start = next.fetch_add(block, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    let end = (start + block).min(n);
-                    for i in start..end {
-                        f(i);
+        let drain = |_w: usize| loop {
+            let start = next.fetch_add(block, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + block).min(n);
+            for i in start..end {
+                f(i);
+            }
+        };
+        match self.mode {
+            LaunchMode::Persistent => self.pool().dispatch(self.workers, &drain),
+            LaunchMode::SpawnPerLaunch => {
+                std::thread::scope(|s| {
+                    for w in 0..self.workers {
+                        let drain = &drain;
+                        s.spawn(move || drain(w));
                     }
                 });
             }
-        })
-        .expect("grid worker panicked");
+        }
     }
 
     /// Map every index `0..n` to a value, returning the results in index
@@ -247,6 +308,16 @@ mod tests {
     }
 
     #[test]
+    fn both_modes_agree() {
+        for mode in [LaunchMode::Persistent, LaunchMode::SpawnPerLaunch] {
+            let grid = Grid::with_mode(4, mode);
+            let got = grid.map_indexed(1000, |i| i as u64 * 7);
+            let want: Vec<u64> = (0..1000).map(|i| i * 7).collect();
+            assert_eq!(got, want, "mode {mode:?}");
+        }
+    }
+
+    #[test]
     fn run_dynamic_visits_each_index_once() {
         use std::sync::atomic::AtomicU32;
         for workers in [1, 3] {
@@ -272,6 +343,29 @@ mod tests {
             });
         }
         assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn nested_launches_run_inline() {
+        // A grid primitive used from inside a grid job (e.g. the
+        // device-level collaboration path) must not deadlock the pool.
+        let grid = Grid::new(4);
+        let sums: Vec<u64> = grid.map_indexed(8, |i| {
+            grid.map_indexed(10, |j| (i * 10 + j) as u64).iter().sum()
+        });
+        let want: Vec<u64> = (0..8u64)
+            .map(|i| (0..10u64).map(|j| i * 10 + j).sum())
+            .collect();
+        assert_eq!(sums, want);
+    }
+
+    #[test]
+    fn clones_share_one_pool() {
+        let grid = Grid::new(3);
+        let clone = grid.clone();
+        grid.run_partitioned(10, |_, _| {});
+        clone.run_partitioned(10, |_, _| {});
+        assert!(Arc::ptr_eq(&grid.pool, &clone.pool));
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! standalone, testable components:
 //!
 //! * a [`Grid`] executor that runs a function once per *chunk* of the input,
-//!   the CPU analogue of launching one GPU thread per chunk
-//!   ([`grid`]),
+//!   the CPU analogue of launching one GPU thread per chunk, backed by a
+//!   persistent worker [`pool`] ([`grid`]),
+//! * a [`KernelExecutor`] that wraps every pipeline launch with wall-clock
+//!   timing and work counters and pools scratch buffers in a
+//!   [`BufferArena`] ([`executor`]),
 //! * inclusive/exclusive **prefix scans** over arbitrary associative
 //!   operators, in sequential, blocked three-phase, and Merrill & Garland
 //!   *single-pass decoupled look-back* variants ([`scan`], [`lookback`]),
@@ -38,14 +41,19 @@
 #![warn(missing_docs)]
 
 pub mod bitmap;
+pub mod executor;
 pub mod grid;
 pub mod histogram;
 pub mod lookback;
+pub mod pool;
 pub mod radix;
 pub mod reduce;
 pub mod rle;
+pub mod rng;
 pub mod scan;
 
 pub use bitmap::{AtomicBitmap, Bitmap};
-pub use grid::Grid;
+pub use executor::{BufferArena, KernelExecutor, LaunchCounters, LaunchRecord};
+pub use grid::{Grid, LaunchMode};
+pub use rng::SplitMix64;
 pub use scan::ScanOp;

@@ -183,8 +183,8 @@ fn scan_lookback<O: ScanOp>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SplitMix64;
     use crate::scan::{exclusive_scan_seq, inclusive_scan_seq, AddOp};
-    use proptest::prelude::*;
 
     #[test]
     fn matches_sequential_small() {
@@ -224,26 +224,42 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn lookback_matches_seq(xs in proptest::collection::vec(0u64..100, 0..800),
-                                workers in 1usize..6,
-                                tile in 1usize..33) {
+    #[test]
+    fn lookback_matches_seq() {
+        let mut rng = SplitMix64::new(0x100cb);
+        for case in 0..48 {
+            let len = rng.next_below(800) as usize;
+            let xs = rng.vec(len, |r| r.next_below(100));
+            let workers = rng.next_range(1, 5) as usize;
+            let tile = rng.next_range(1, 32) as usize;
             let grid = Grid::new(workers);
-            prop_assert_eq!(
+            assert_eq!(
                 exclusive_scan_lookback(&grid, &xs, &AddOp, tile),
-                exclusive_scan_seq(&xs, &AddOp)
+                exclusive_scan_seq(&xs, &AddOp),
+                "case {case} len {len} workers {workers} tile {tile}"
             );
         }
+    }
 
-        #[test]
-        fn lookback_noncommutative(xs in proptest::collection::vec(proptest::array::uniform4(0u8..4), 0..400),
-                                   workers in 1usize..6,
-                                   tile in 1usize..17) {
+    #[test]
+    fn lookback_noncommutative() {
+        let mut rng = SplitMix64::new(0x100cc);
+        for case in 0..48 {
+            let len = rng.next_below(400) as usize;
+            let xs = rng.vec(len, |r| {
+                let mut v = [0u8; 4];
+                for slot in &mut v {
+                    *slot = r.next_below(4) as u8;
+                }
+                v
+            });
+            let workers = rng.next_range(1, 5) as usize;
+            let tile = rng.next_range(1, 16) as usize;
             let grid = Grid::new(workers);
-            prop_assert_eq!(
+            assert_eq!(
                 inclusive_scan_lookback(&grid, &xs, &Compose4, tile),
-                inclusive_scan_seq(&xs, &Compose4)
+                inclusive_scan_seq(&xs, &Compose4),
+                "case {case} len {len} workers {workers} tile {tile}"
             );
         }
     }

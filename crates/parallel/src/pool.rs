@@ -1,0 +1,311 @@
+//! A persistent worker pool: parked OS threads reused across launches.
+//!
+//! The GPU keeps its execution resources initialised between kernel
+//! launches; spawning fresh OS threads per launch — what this crate did
+//! originally — is the CPU equivalent of re-creating the CUDA context for
+//! every kernel. The pool parks `width - 1` workers on a condition
+//! variable and wakes them per launch; the calling thread always
+//! participates as worker 0, so a launch of `parts == 1` never touches
+//! the pool at all.
+//!
+//! Dispatch is epoch-based: the caller publishes a lifetime-erased
+//! pointer to the job closure together with a bumped epoch counter, and
+//! each worker runs the job for its own fixed worker id. Because the id →
+//! work mapping is decided entirely by the caller (contiguous chunk
+//! ranges, see [`crate::grid::partition`]), results are bit-identical for
+//! any pool width — the pool only changes *who* executes a range, never
+//! *which* ranges exist.
+//!
+//! Nested launches (a grid call made from inside a running job) execute
+//! inline on the calling worker rather than re-entering the pool, which
+//! both avoids deadlock and matches the GPU model where a thread block
+//! cannot launch a sub-grid on its own resources.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The shape every pooled job takes: a function of the worker id.
+type Job = dyn Fn(usize) + Sync;
+
+/// A published job: a lifetime-erased pointer plus how many worker ids
+/// participate. The caller keeps the closure alive until every
+/// participant has checked in, which is what makes the erasure sound.
+struct JobSlot {
+    job: *const Job,
+    parts: usize,
+}
+
+// SAFETY: the pointer is only dereferenced while the dispatching caller
+// blocks in `dispatch`, keeping the referent alive; the closure itself is
+// `Sync` so shared calls from several workers are fine.
+unsafe impl Send for JobSlot {}
+
+struct Control {
+    epoch: u64,
+    slot: Option<JobSlot>,
+    /// Pool workers that still have to finish the current epoch's job.
+    remaining: usize,
+    /// Set when any pool worker's job panicked this epoch.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    control: Mutex<Control>,
+    /// Workers park here waiting for a new epoch (or shutdown).
+    work_cv: Condvar,
+    /// The dispatching caller parks here waiting for `remaining == 0`.
+    done_cv: Condvar,
+}
+
+thread_local! {
+    /// True while this thread is executing a pooled job — used to run
+    /// nested launches inline instead of deadlocking on the pool.
+    static IN_LAUNCH: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Parked OS threads reused across launches. See the module docs.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    width: usize,
+}
+
+impl WorkerPool {
+    /// Create a pool that can run jobs `width` wide (the caller counts as
+    /// worker 0, so `width - 1` threads are spawned and parked).
+    pub fn new(width: usize) -> Self {
+        let width = width.max(1);
+        let shared = Arc::new(Shared {
+            control: Mutex::new(Control {
+                epoch: 0,
+                slot: None,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (1..width)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("parparaw-pool-{id}"))
+                    .spawn(move || worker_loop(id, &shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            width,
+        }
+    }
+
+    /// Number of worker ids this pool can run concurrently (including the
+    /// calling thread).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Run `job(w)` once for every worker id `w in 0..parts`.
+    ///
+    /// The calling thread runs `job(0)` itself; pool workers `1..parts`
+    /// run the rest concurrently. Blocks until every participant is done.
+    /// Panics propagate to the caller (the caller's own payload wins if
+    /// both it and a pool worker panicked). `parts` must not exceed
+    /// [`Self::width`]. Nested calls from inside a job run all parts
+    /// inline, sequentially, on the calling worker.
+    pub fn dispatch<'a>(&self, parts: usize, job: &'a (dyn Fn(usize) + Sync + 'a)) {
+        assert!(parts <= self.width, "dispatch wider than the pool");
+        if parts == 0 {
+            return;
+        }
+        if parts == 1 || IN_LAUNCH.with(Cell::get) {
+            for w in 0..parts {
+                job(w);
+            }
+            return;
+        }
+
+        // Erase the job's borrow lifetime; `dispatch` outlives every use
+        // of the pointer because it blocks below until all workers report
+        // completion.
+        let erased: *const Job =
+            unsafe { std::mem::transmute(job as *const (dyn Fn(usize) + Sync + 'a)) };
+        {
+            let mut c = self.shared.control.lock().unwrap();
+            c.epoch += 1;
+            c.slot = Some(JobSlot { job: erased, parts });
+            c.remaining = parts - 1;
+            c.panicked = false;
+        }
+        self.shared.work_cv.notify_all();
+
+        IN_LAUNCH.with(|f| f.set(true));
+        let caller = catch_unwind(AssertUnwindSafe(|| job(0)));
+        IN_LAUNCH.with(|f| f.set(false));
+
+        let mut c = self.shared.control.lock().unwrap();
+        while c.remaining > 0 {
+            c = self.shared.done_cv.wait(c).unwrap();
+        }
+        c.slot = None;
+        let worker_panicked = c.panicked;
+        drop(c);
+
+        match caller {
+            Err(payload) => resume_unwind(payload),
+            Ok(()) if worker_panicked => panic!("grid worker panicked"),
+            Ok(()) => {}
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut c = self.shared.control.lock().unwrap();
+            c.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("width", &self.width)
+            .finish()
+    }
+}
+
+fn worker_loop(id: usize, shared: &Shared) {
+    let mut last_epoch = 0u64;
+    loop {
+        let task = {
+            let mut c = shared.control.lock().unwrap();
+            loop {
+                if c.shutdown {
+                    return;
+                }
+                if c.epoch != last_epoch {
+                    last_epoch = c.epoch;
+                    break c
+                        .slot
+                        .as_ref()
+                        .and_then(|s| (id < s.parts).then_some(s.job));
+                }
+                c = shared.work_cv.wait(c).unwrap();
+            }
+        };
+        let Some(job) = task else { continue };
+        IN_LAUNCH.with(|f| f.set(true));
+        // SAFETY: the dispatching caller keeps the closure alive until
+        // `remaining` hits zero, which only happens after this call
+        // returns (or unwinds) below.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job)(id) }));
+        IN_LAUNCH.with(|f| f.set(false));
+        let mut c = shared.control.lock().unwrap();
+        if result.is_err() {
+            c.panicked = true;
+        }
+        c.remaining -= 1;
+        if c.remaining == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_worker_id_runs_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for parts in [1usize, 2, 3, 4] {
+            let hits: Vec<AtomicUsize> = (0..parts).map(|_| AtomicUsize::new(0)).collect();
+            pool.dispatch(parts, &|w| {
+                hits[w].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn reused_across_many_launches() {
+        let pool = WorkerPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..500 {
+            pool.dispatch(3, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 1500);
+    }
+
+    #[test]
+    fn jobs_can_borrow_the_callers_stack() {
+        let pool = WorkerPool::new(4);
+        let data = [1u64, 2, 3, 4];
+        let out: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.dispatch(4, &|w| {
+            out[w].store(data[w] as usize * 10, Ordering::Relaxed);
+        });
+        let got: Vec<usize> = out.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        assert_eq!(got, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let inner_hits = AtomicUsize::new(0);
+        let p2 = Arc::clone(&pool);
+        pool.dispatch(2, &|_| {
+            p2.dispatch(2, &|_| {
+                inner_hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(2, &|w| {
+                if w == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicked launch.
+        let ok = AtomicUsize::new(0);
+        pool.dispatch(2, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn caller_panic_propagates() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(2, &|w| {
+                if w == 0 {
+                    panic!("caller boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+    }
+}

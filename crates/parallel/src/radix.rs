@@ -116,7 +116,7 @@ pub fn partition_pass<V>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SplitMix64;
 
     fn check_sorted_stable(orig_keys: &[u32], keys: &[u32], values: &[u64]) {
         // keys ascending
@@ -164,13 +164,14 @@ mod tests {
         assert_eq!(vals, (0..10).collect::<Vec<_>>());
     }
 
-    proptest! {
-        #[test]
-        fn matches_std_stable_sort(
-            keys in proptest::collection::vec(0u32..50, 0..600),
-            workers in 1usize..6,
-            digit_bits in 1u32..9,
-        ) {
+    #[test]
+    fn matches_std_stable_sort() {
+        let mut rng = SplitMix64::new(0x5047);
+        for case in 0..48 {
+            let len = rng.next_below(600) as usize;
+            let keys = rng.vec(len, |r| r.next_below(50) as u32);
+            let workers = rng.next_range(1, 5) as usize;
+            let digit_bits = rng.next_range(1, 8) as u32;
             let grid = Grid::new(workers);
             let mut k = keys.clone();
             let mut v: Vec<u64> = (0..keys.len() as u64).collect();
@@ -181,19 +182,24 @@ mod tests {
             want.sort_by_key(|p| p.0); // std stable sort
             let want_k: Vec<u32> = want.iter().map(|p| p.0).collect();
             let want_v: Vec<u64> = want.iter().map(|p| p.1).collect();
-            prop_assert_eq!(k, want_k);
-            prop_assert_eq!(v, want_v);
+            assert_eq!(k, want_k, "case {case} workers {workers} bits {digit_bits}");
+            assert_eq!(v, want_v, "case {case} workers {workers} bits {digit_bits}");
         }
+    }
 
-        #[test]
-        fn large_key_domain(keys in proptest::collection::vec(0u32..1_000_000, 0..300)) {
+    #[test]
+    fn large_key_domain() {
+        let mut rng = SplitMix64::new(0x1a46e);
+        for case in 0..24 {
+            let len = rng.next_below(300) as usize;
+            let keys = rng.vec(len, |r| r.next_below(1_000_000) as u32);
             let grid = Grid::new(4);
             let mut k = keys.clone();
             let mut v: Vec<u64> = (0..keys.len() as u64).collect();
             sort_pairs_by_key(&grid, &mut k, &mut v, 999_999, 8);
             let mut want = keys.clone();
             want.sort_unstable();
-            prop_assert_eq!(k, want);
+            assert_eq!(k, want, "case {case} len {len}");
         }
     }
 }

@@ -80,7 +80,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SplitMix64;
 
     fn rle_seq<T: Clone + Eq>(items: &[T]) -> (Vec<T>, Vec<u64>, Vec<u64>) {
         let mut values = Vec::new();
@@ -123,23 +123,31 @@ mod tests {
         assert_eq!(r.lengths, vec![1]);
     }
 
-    proptest! {
-        #[test]
-        fn matches_sequential(xs in proptest::collection::vec(0u32..5, 0..400),
-                              workers in 1usize..6) {
+    #[test]
+    fn matches_sequential() {
+        let mut rng = SplitMix64::new(0x41e);
+        for case in 0..64 {
+            let len = rng.next_below(400) as usize;
+            let xs = rng.vec(len, |r| r.next_below(5) as u32);
+            let workers = rng.next_range(1, 5) as usize;
             let grid = Grid::new(workers);
             let got = run_length_encode(&grid, &xs);
             let (v, l, o) = rle_seq(&xs);
-            prop_assert_eq!(got.values, v);
-            prop_assert_eq!(got.lengths, l);
-            prop_assert_eq!(got.offsets, o);
+            assert_eq!(got.values, v, "case {case} len {len} workers {workers}");
+            assert_eq!(got.lengths, l, "case {case} len {len} workers {workers}");
+            assert_eq!(got.offsets, o, "case {case} len {len} workers {workers}");
         }
+    }
 
-        #[test]
-        fn lengths_sum_to_input(xs in proptest::collection::vec(0u32..3, 0..300)) {
+    #[test]
+    fn lengths_sum_to_input() {
+        let mut rng = SplitMix64::new(0x41f);
+        for _ in 0..32 {
+            let len = rng.next_below(300) as usize;
+            let xs = rng.vec(len, |r| r.next_below(3) as u32);
             let grid = Grid::new(4);
             let r = run_length_encode(&grid, &xs);
-            prop_assert_eq!(r.lengths.iter().sum::<u64>() as usize, xs.len());
+            assert_eq!(r.lengths.iter().sum::<u64>() as usize, xs.len());
         }
     }
 }

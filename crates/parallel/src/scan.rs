@@ -152,7 +152,12 @@ pub fn exclusive_scan_total<O: ScanOp>(
     (out, total)
 }
 
-fn scan_blocked<O: ScanOp>(grid: &Grid, items: &[O::Item], op: &O, exclusive: bool) -> Vec<O::Item> {
+fn scan_blocked<O: ScanOp>(
+    grid: &Grid,
+    items: &[O::Item],
+    op: &O,
+    exclusive: bool,
+) -> Vec<O::Item> {
     let n = items.len();
     if n == 0 {
         return Vec::new();
@@ -209,7 +214,7 @@ fn scan_blocked<O: ScanOp>(grid: &Grid, items: &[O::Item], op: &O, exclusive: bo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SplitMix64;
 
     /// Function-composition operator over permutations of 0..N — a
     /// non-commutative associative operator shaped exactly like the paper's
@@ -262,41 +267,65 @@ mod tests {
         assert_eq!(scan[99], 5050 - 100);
     }
 
-    proptest! {
-        #[test]
-        fn parallel_matches_sequential_add(xs in proptest::collection::vec(0u64..1000, 0..500),
-                                           workers in 1usize..8) {
-            let grid = Grid::new(workers);
-            prop_assert_eq!(inclusive_scan(&grid, &xs, &AddOp), inclusive_scan_seq(&xs, &AddOp));
-            prop_assert_eq!(exclusive_scan(&grid, &xs, &AddOp), exclusive_scan_seq(&xs, &AddOp));
+    fn perm6(rng: &mut SplitMix64) -> [u8; 6] {
+        let mut out = [0u8; 6];
+        for slot in &mut out {
+            *slot = rng.next_below(6) as u8;
         }
+        out
+    }
 
-        #[test]
-        fn parallel_matches_sequential_noncommutative(
-            xs in proptest::collection::vec(proptest::array::uniform6(0u8..6), 0..300),
-            workers in 1usize..8,
-        ) {
+    #[test]
+    fn parallel_matches_sequential_add() {
+        let mut rng = SplitMix64::new(0xadd0);
+        for case in 0..64 {
+            let len = rng.next_below(500) as usize;
+            let xs = rng.vec(len, |r| r.next_below(1000));
+            let workers = rng.next_range(1, 7) as usize;
             let grid = Grid::new(workers);
-            prop_assert_eq!(
+            assert_eq!(
+                inclusive_scan(&grid, &xs, &AddOp),
+                inclusive_scan_seq(&xs, &AddOp),
+                "case {case} len {len} workers {workers}"
+            );
+            assert_eq!(
+                exclusive_scan(&grid, &xs, &AddOp),
+                exclusive_scan_seq(&xs, &AddOp),
+                "case {case} len {len} workers {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_noncommutative() {
+        let mut rng = SplitMix64::new(0xc0);
+        for case in 0..64 {
+            let len = rng.next_below(300) as usize;
+            let xs = rng.vec(len, perm6);
+            let workers = rng.next_range(1, 7) as usize;
+            let grid = Grid::new(workers);
+            assert_eq!(
                 inclusive_scan(&grid, &xs, &ComposeOp),
-                inclusive_scan_seq(&xs, &ComposeOp)
+                inclusive_scan_seq(&xs, &ComposeOp),
+                "case {case} len {len} workers {workers}"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 exclusive_scan(&grid, &xs, &ComposeOp),
-                exclusive_scan_seq(&xs, &ComposeOp)
+                exclusive_scan_seq(&xs, &ComposeOp),
+                "case {case} len {len} workers {workers}"
             );
         }
+    }
 
-        #[test]
-        fn compose_is_associative(
-            a in proptest::array::uniform6(0u8..6),
-            b in proptest::array::uniform6(0u8..6),
-            c in proptest::array::uniform6(0u8..6),
-        ) {
-            let op = ComposeOp;
+    #[test]
+    fn compose_is_associative() {
+        let mut rng = SplitMix64::new(0xa550c);
+        let op = ComposeOp;
+        for case in 0..500 {
+            let (a, b, c) = (perm6(&mut rng), perm6(&mut rng), perm6(&mut rng));
             let left = op.combine(&op.combine(&a, &b), &c);
             let right = op.combine(&a, &op.combine(&b, &c));
-            prop_assert_eq!(left, right);
+            assert_eq!(left, right, "case {case}: {a:?} {b:?} {c:?}");
         }
     }
 }

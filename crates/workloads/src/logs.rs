@@ -11,8 +11,16 @@ use parparaw_columnar::{DataType, Field, Schema};
 
 const METHODS: &[&str] = &["GET", "POST", "PUT", "DELETE", "HEAD"];
 const PATHS: &[&str] = &[
-    "/", "/index.html", "/api/v1/items", "/api/v1/items/42", "/static/app.js",
-    "/static/logo.png", "/search?q=a b", "/login", "/logout", "/admin",
+    "/",
+    "/index.html",
+    "/api/v1/items",
+    "/api/v1/items/42",
+    "/static/app.js",
+    "/static/logo.png",
+    "/search?q=a b",
+    "/login",
+    "/logout",
+    "/admin",
 ];
 const AGENTS: &[&str] = &[
     "Mozilla/5.0 (X11; Linux)",
@@ -46,8 +54,8 @@ pub fn generate(target_bytes: usize, seed: u64, quoted_agents: bool) -> Vec<u8> 
     let mut line = 0u64;
     while out.len() < target_bytes {
         line += 1;
-        if line % 40 == 0 {
-            let _ = write!(out, "#Remark: rotation check {line}, all \"ok\"\n");
+        if line.is_multiple_of(40) {
+            let _ = writeln!(out, "#Remark: rotation check {line}, all \"ok\"");
             continue;
         }
         let day = rng.next_range(0, 364) as u32;
@@ -102,8 +110,14 @@ mod tests {
         assert_eq!(out.stats.rejected_records, 0);
         assert_eq!(out.stats.conversion_rejects, 0);
         // Directive lines yielded no records.
-        let directives = data.split(|&b| b == b'\n').filter(|l| l.first() == Some(&b'#')).count();
-        let lines = data.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count();
+        let directives = data
+            .split(|&b| b == b'\n')
+            .filter(|l| l.first() == Some(&b'#'))
+            .count();
+        let lines = data
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .count();
         assert_eq!(out.table.num_rows(), lines - directives);
     }
 

@@ -24,7 +24,7 @@ pub fn yelp_skewed(target_bytes: usize, giant_bytes: usize, seed: u64) -> Vec<u8
     for (i, &b) in base.iter().enumerate() {
         match b {
             b'"' => quotes += 1,
-            b'\n' if quotes % 2 == 0 && i >= base.len() / 2 => {
+            b'\n' if quotes.is_multiple_of(2) && i >= base.len() / 2 => {
                 split = i + 1;
                 break;
             }

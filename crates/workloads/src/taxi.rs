@@ -60,9 +60,9 @@ fn push_record(out: &mut Vec<u8>, rng: &mut SplitMix64) {
     let total = fare + extra + mta + tip + tolls + surcharge;
 
     let cents = |v: u64| format!("{}.{:02}", v / 100, v % 100);
-    let _ = write!(
+    let _ = writeln!(
         out,
-        "{},2018-{mo:02}-{dd:02} {pickup_h:02}:{pickup_m:02}:{pickup_s:02},2018-{mo:02}-{dd:02} {drop_h:02}:{drop_m:02}:{pickup_s:02},{},{distance:.1},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+        "{},2018-{mo:02}-{dd:02} {pickup_h:02}:{pickup_m:02}:{pickup_s:02},2018-{mo:02}-{dd:02} {drop_h:02}:{drop_m:02}:{pickup_s:02},{},{distance:.1},{},{},{},{},{},{},{},{},{},{},{},{}",
         rng.next_range(1, 2),
         rng.next_range(1, 6),
         rng.next_range(1, 6),

@@ -17,13 +17,63 @@ use crate::rng::SplitMix64;
 use parparaw_columnar::{DataType, Field, Schema};
 
 const WORDS: &[&str] = &[
-    "the", "food", "was", "amazing", "service", "terrible", "great", "place", "would",
-    "recommend", "never", "again", "staff", "friendly", "wait", "long", "delicious",
-    "atmosphere", "cozy", "overpriced", "portions", "huge", "tiny", "brunch", "dinner",
-    "ordered", "pasta", "burger", "salad", "dessert", "coffee", "definitely", "coming",
-    "back", "love", "this", "spot", "hidden", "gem", "downtown", "parking", "impossible",
-    "reservation", "recommended", "flavors", "fresh", "ingredients", "chef", "kitchen",
-    "quickly", "slow", "crowded", "quiet", "perfect", "date", "night", "family",
+    "the",
+    "food",
+    "was",
+    "amazing",
+    "service",
+    "terrible",
+    "great",
+    "place",
+    "would",
+    "recommend",
+    "never",
+    "again",
+    "staff",
+    "friendly",
+    "wait",
+    "long",
+    "delicious",
+    "atmosphere",
+    "cozy",
+    "overpriced",
+    "portions",
+    "huge",
+    "tiny",
+    "brunch",
+    "dinner",
+    "ordered",
+    "pasta",
+    "burger",
+    "salad",
+    "dessert",
+    "coffee",
+    "definitely",
+    "coming",
+    "back",
+    "love",
+    "this",
+    "spot",
+    "hidden",
+    "gem",
+    "downtown",
+    "parking",
+    "impossible",
+    "reservation",
+    "recommended",
+    "flavors",
+    "fresh",
+    "ingredients",
+    "chef",
+    "kitchen",
+    "quickly",
+    "slow",
+    "crowded",
+    "quiet",
+    "perfect",
+    "date",
+    "night",
+    "family",
 ];
 
 /// Column schema of the yelp-like dataset.
@@ -69,9 +119,9 @@ fn push_record(out: &mut Vec<u8>, rng: &mut SplitMix64) {
         let word = rng.choice(WORDS);
         out.extend_from_slice(word.as_bytes());
         match rng.next_below(100) {
-            0..=4 => out.extend_from_slice(b", "),       // embedded comma
-            5..=6 => out.extend_from_slice(b"\n"),        // embedded newline
-            7 => out.extend_from_slice(b"\"\""),          // escaped quote
+            0..=4 => out.extend_from_slice(b", "), // embedded comma
+            5..=6 => out.extend_from_slice(b"\n"), // embedded newline
+            7 => out.extend_from_slice(b"\"\""),   // escaped quote
             8..=9 => out.extend_from_slice(b". "),
             _ => out.push(b' '),
         }
@@ -81,11 +131,7 @@ fn push_record(out: &mut Vec<u8>, rng: &mut SplitMix64) {
     // date: timestamps through 2018.
     let day = rng.next_range(0, 364);
     let (mo, dd) = month_day(day as u32);
-    let (h, mi, s) = (
-        rng.next_below(24),
-        rng.next_below(60),
-        rng.next_below(60),
-    );
+    let (h, mi, s) = (rng.next_below(24), rng.next_below(60), rng.next_below(60));
     out.extend_from_slice(format!("\"2018-{mo:02}-{dd:02} {h:02}:{mi:02}:{s:02}\"").as_bytes());
     out.push(b'\n');
 }

@@ -89,5 +89,8 @@ fn main() {
     // The spec DSL round-trips, so automatons are portable artefacts.
     let spec = to_spec(parser.dfa());
     assert!(parse_spec(&spec).is_ok());
-    println!("\n(the automaton round-trips through its textual spec, {} bytes)", spec.len());
+    println!(
+        "\n(the automaton round-trips through its textual spec, {} bytes)",
+        spec.len()
+    );
 }

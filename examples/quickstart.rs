@@ -14,7 +14,11 @@ fn main() {
     // Parse with everything inferred: column count, column types.
     let out = parse_csv(csv, ParserOptions::default()).expect("valid CSV");
 
-    println!("parsed {} records, {} columns", out.table.num_rows(), out.table.num_columns());
+    println!(
+        "parsed {} records, {} columns",
+        out.table.num_rows(),
+        out.table.num_columns()
+    );
     println!("{}", out.table.pretty(10));
 
     // The pipeline reports per-phase timings (the categories of the

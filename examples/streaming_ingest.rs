@@ -58,8 +58,10 @@ fn main() {
     println!(
         "  transfer alone would take {:.2} ms — streaming hides {:.0}% of the parse behind it",
         link.h2d_seconds(data.len() as u64) * 1e3,
-        100.0 * (1.0 - (report.total_seconds - link.h2d_seconds(data.len() as u64)).max(0.0)
-            / report.total_seconds)
+        100.0
+            * (1.0
+                - (report.total_seconds - link.h2d_seconds(data.len() as u64)).max(0.0)
+                    / report.total_seconds)
     );
     println!(
         "  engine busy: H2D {:.2} ms | GPU {:.2} ms | D2H {:.2} ms",

@@ -27,7 +27,10 @@ fn main() {
     assert_eq!(out.table.schema().fields[0].data_type, DataType::Int8);
     assert_eq!(out.table.schema().fields[1].data_type, DataType::Float64);
     assert_eq!(out.table.schema().fields[2].data_type, DataType::Date32);
-    assert_eq!(out.table.schema().fields[3].data_type, DataType::TimestampMicros);
+    assert_eq!(
+        out.table.schema().fields[3].data_type,
+        DataType::TimestampMicros
+    );
     assert_eq!(out.table.schema().fields[4].data_type, DataType::Boolean);
     assert_eq!(out.table.schema().fields[5].data_type, DataType::Utf8);
     println!("\n{}", out.table.pretty(10));

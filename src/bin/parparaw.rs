@@ -79,10 +79,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match a.as_str() {
             "--format" => args.format = value("--format")?,
             "--dfa" => args.dfa_spec = Some(value("--dfa")?),
@@ -197,10 +194,7 @@ fn main() -> ExitCode {
         None => unreachable!(),
     };
 
-    let grid = args
-        .workers
-        .map(Grid::new)
-        .unwrap_or_else(Grid::auto);
+    let grid = args.workers.map(Grid::new).unwrap_or_else(Grid::auto);
 
     // Optional UTF-16 transcode (paper §4.2); a BOM also triggers it.
     let detected = parparaw::core::encoding::detect_utf16_bom(&raw);
@@ -236,27 +230,27 @@ fn main() -> ExitCode {
         }
     } else {
         match args.format.as_str() {
-        "csv" => rfc4180(&CsvDialect {
-            comment: args.comment,
-            ..CsvDialect::default()
-        }),
-        "tsv" => rfc4180(&CsvDialect {
-            comment: args.comment,
-            ..CsvDialect::tsv()
-        }),
-        "psv" => rfc4180(&CsvDialect {
-            comment: args.comment,
-            ..CsvDialect::psv()
-        }),
-        "scsv" => rfc4180(&CsvDialect {
-            comment: args.comment,
-            ..CsvDialect::semicolon()
-        }),
-        "log" => parparaw::dfa::log::extended_log(),
-        f => {
-            eprintln!("error: unknown format {f}");
-            return ExitCode::from(2);
-        }
+            "csv" => rfc4180(&CsvDialect {
+                comment: args.comment,
+                ..CsvDialect::default()
+            }),
+            "tsv" => rfc4180(&CsvDialect {
+                comment: args.comment,
+                ..CsvDialect::tsv()
+            }),
+            "psv" => rfc4180(&CsvDialect {
+                comment: args.comment,
+                ..CsvDialect::psv()
+            }),
+            "scsv" => rfc4180(&CsvDialect {
+                comment: args.comment,
+                ..CsvDialect::semicolon()
+            }),
+            "log" => parparaw::dfa::log::extended_log(),
+            f => {
+                eprintln!("error: unknown format {f}");
+                return ExitCode::from(2);
+            }
         }
     };
 

@@ -33,7 +33,9 @@ pub use parparaw_workloads as workloads;
 /// The commonly needed names in one import.
 pub mod prelude {
     pub use parparaw_columnar::{Column, DataType, Field, Schema, Table, Value};
-    pub use parparaw_core::{parse_csv, ParseError, ParseOutput, Parser, ParserOptions, TaggingMode};
+    pub use parparaw_core::{
+        parse_csv, ParseError, ParseOutput, Parser, ParserOptions, TaggingMode,
+    };
     pub use parparaw_dfa::csv::{rfc4180, CsvDialect};
     pub use parparaw_dfa::{Dfa, DfaBuilder};
     pub use parparaw_parallel::Grid;

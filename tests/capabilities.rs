@@ -131,8 +131,8 @@ fn custom_formats_via_the_builder() {
     use parparaw::dfa::{DfaBuilder, Emit};
     let mut b = DfaBuilder::new();
     let rec = b.state("REC");
-    let eq = b.group(&[b'=']);
-    let semi = b.group(&[b';']);
+    let eq = b.group(b"=");
+    let semi = b.group(b";");
     let any = b.catch_all();
     b.start(rec).accepting(&[rec]);
     b.transition(rec, eq, rec, Emit::FIELD_DELIM)

@@ -87,7 +87,11 @@ fn spec_loaded_dialect_equals_builtin() {
     let spec = parparaw::dfa::spec::to_spec(&dfa);
     let reloaded = parparaw::dfa::spec::parse_spec(&spec).unwrap();
     let input = b"1,\"two\nlines\",3\n,,\n4,5,6\n";
-    let a = Parser::new(dfa, ParserOptions::default()).parse(input).unwrap();
-    let b = Parser::new(reloaded, ParserOptions::default()).parse(input).unwrap();
+    let a = Parser::new(dfa, ParserOptions::default())
+        .parse(input)
+        .unwrap();
+    let b = Parser::new(reloaded, ParserOptions::default())
+        .parse(input)
+        .unwrap();
     assert_eq!(a.table, b.table);
 }

@@ -6,8 +6,8 @@
 //! independent row-by-row implementation.
 
 use parparaw::baselines::SequentialParser;
+use parparaw::parallel::SplitMix64;
 use parparaw::prelude::*;
-use proptest::prelude::*;
 
 fn parsers(workers: usize, chunk_size: usize) -> (Parser, SequentialParser) {
     let opts = ParserOptions {
@@ -22,100 +22,144 @@ fn parsers(workers: usize, chunk_size: usize) -> (Parser, SequentialParser) {
     )
 }
 
-/// A strategy producing CSV-ish byte soup: a mix of well-formed rows,
-/// quoted fields with embedded delimiters, escapes, and raw noise.
-fn csvish() -> impl Strategy<Value = Vec<u8>> {
-    let field = prop_oneof![
-        // plain values
-        "[a-z0-9]{0,8}".prop_map(|s| s.into_bytes()),
-        // numbers
-        "-?[0-9]{1,6}(\\.[0-9]{1,3})?".prop_map(|s| s.into_bytes()),
-        // quoted with embedded delimiters and escapes
-        "[a-z,\n]{0,10}".prop_map(|s| {
-            let mut v = vec![b'"'];
-            for b in s.bytes() {
-                if b == b'"' {
-                    v.extend_from_slice(b"\"\"");
-                } else {
-                    v.push(b);
+/// CSV-ish byte soup: a mix of well-formed rows, quoted fields with
+/// embedded delimiters, escapes, and empties.
+fn csvish(rng: &mut SplitMix64) -> Vec<u8> {
+    fn field(rng: &mut SplitMix64) -> Vec<u8> {
+        match rng.next_below(4) {
+            // plain values
+            0 => {
+                let len = rng.next_below(9) as usize;
+                rng.vec(len, |r| *r.choice(b"abcdefghijklmnopqrstuvwxyz0123456789"))
+            }
+            // numbers
+            1 => {
+                let mut v = Vec::new();
+                if rng.chance(0.5) {
+                    v.push(b'-');
                 }
+                let int_len = rng.next_range(1, 6) as usize;
+                v.extend(rng.vec(int_len, |r| *r.choice(b"0123456789")));
+                if rng.chance(0.5) {
+                    v.push(b'.');
+                    let frac_len = rng.next_range(1, 3) as usize;
+                    v.extend(rng.vec(frac_len, |r| *r.choice(b"0123456789")));
+                }
+                v
             }
-            v.push(b'"');
-            v
-        }),
-        // empty
-        Just(Vec::new()),
-    ];
-    let record = proptest::collection::vec(field, 1..5).prop_map(|fields| {
-        let mut row = Vec::new();
-        for (i, f) in fields.iter().enumerate() {
+            // quoted with embedded delimiters and escapes
+            2 => {
+                let len = rng.next_below(11) as usize;
+                let inner = rng.vec(len, |r| *r.choice(b"abcdefgh\",\n"));
+                let mut v = vec![b'"'];
+                for b in inner {
+                    if b == b'"' {
+                        v.extend_from_slice(b"\"\"");
+                    } else {
+                        v.push(b);
+                    }
+                }
+                v.push(b'"');
+                v
+            }
+            // empty
+            _ => Vec::new(),
+        }
+    }
+    let n_rows = rng.next_below(12) as usize;
+    let mut out = Vec::new();
+    for _ in 0..n_rows {
+        let n_fields = rng.next_range(1, 4) as usize;
+        for i in 0..n_fields {
             if i > 0 {
-                row.push(b',');
+                out.push(b',');
             }
-            row.extend_from_slice(f);
+            out.extend(field(rng));
         }
-        row
-    });
-    (proptest::collection::vec(record, 0..12), any::<bool>()).prop_map(|(rows, trailing_nl)| {
-        let mut out = Vec::new();
-        for r in &rows {
-            out.extend_from_slice(r);
-            out.push(b'\n');
-        }
-        if !trailing_nl && !out.is_empty() {
-            out.pop();
-        }
-        out
-    })
+        out.push(b'\n');
+    }
+    if rng.chance(0.5) && !out.is_empty() {
+        out.pop(); // no trailing newline
+    }
+    out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn parparaw_equals_sequential(input in csvish(),
-                                  workers in 1usize..5,
-                                  chunk_size in 1usize..40) {
+#[test]
+fn parparaw_equals_sequential() {
+    let mut rng = SplitMix64::new(0xE9_0001);
+    for case in 0..64 {
+        let input = csvish(&mut rng);
+        let workers = rng.next_range(1, 4) as usize;
+        let chunk_size = rng.next_range(1, 39) as usize;
         let (par, seq) = parsers(workers, chunk_size);
         let p = par.parse(&input).unwrap();
         let s = seq.parse(&input).unwrap();
-        prop_assert_eq!(
-            &p.table, &s.table,
-            "workers={} chunk={} input={:?}",
-            workers, chunk_size, String::from_utf8_lossy(&input)
+        assert_eq!(
+            &p.table,
+            &s.table,
+            "case {} workers={} chunk={} input={:?}",
+            case,
+            workers,
+            chunk_size,
+            String::from_utf8_lossy(&input)
         );
-        prop_assert_eq!(p.rejected, s.rejected);
+        assert_eq!(p.rejected, s.rejected, "case {case}");
     }
+}
 
-    #[test]
-    fn streaming_equals_monolithic(input in csvish(),
-                                   partition in 1usize..64) {
+#[test]
+fn streaming_equals_monolithic() {
+    let mut rng = SplitMix64::new(0xE9_0002);
+    for case in 0..64 {
+        let input = csvish(&mut rng);
+        let partition = rng.next_range(1, 63) as usize;
         let (par, _) = parsers(2, 13);
         let mono = par.parse(&input).unwrap();
         let streamed = par.parse_stream(&input, partition).unwrap();
         // Schema inference can differ when early partitions see narrower
         // values, so compare cell-by-cell as strings when schemas differ.
-        prop_assert_eq!(streamed.table.num_rows(), mono.table.num_rows());
+        assert_eq!(
+            streamed.table.num_rows(),
+            mono.table.num_rows(),
+            "case {case} partition={partition}"
+        );
         if streamed.table.schema() == mono.table.schema() {
-            prop_assert_eq!(&streamed.table, &mono.table);
+            assert_eq!(&streamed.table, &mono.table, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn tagging_modes_agree_on_consistent_inputs(
-        rows in proptest::collection::vec("[a-z0-9]{0,6},[a-z0-9]{0,6},[a-z0-9]{0,6}", 1..10),
-    ) {
-        let input: Vec<u8> = rows.join("\n").into_bytes();
-        let mut input = input;
-        input.push(b'\n');
+#[test]
+fn tagging_modes_agree_on_consistent_inputs() {
+    let mut rng = SplitMix64::new(0xE9_0003);
+    for case in 0..64 {
+        let n_rows = rng.next_range(1, 9) as usize;
+        let mut input = Vec::new();
+        for _ in 0..n_rows {
+            for c in 0..3 {
+                if c > 0 {
+                    input.push(b',');
+                }
+                let len = rng.next_below(7) as usize;
+                input.extend(rng.vec(len, |r| *r.choice(b"abcdefghijklmnopqrstuvwxyz0123456789")));
+            }
+            input.push(b'\n');
+        }
         let base = ParserOptions {
             grid: Grid::new(2),
             ..ParserOptions::default()
         };
         let reference = parse_csv(&input, base.clone()).unwrap();
         for mode in [TaggingMode::inline_default(), TaggingMode::VectorDelimited] {
-            let out = parse_csv(&input, ParserOptions { tagging: mode, ..base.clone() }).unwrap();
-            prop_assert_eq!(&out.table, &reference.table, "{:?}", mode);
+            let out = parse_csv(
+                &input,
+                ParserOptions {
+                    tagging: mode,
+                    ..base.clone()
+                },
+            )
+            .unwrap();
+            assert_eq!(&out.table, &reference.table, "case {case} {mode:?}");
         }
     }
 }

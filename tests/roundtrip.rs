@@ -2,9 +2,9 @@
 
 use parparaw::columnar::csv_out::{write_csv, CsvWriteOptions};
 use parparaw::columnar::ipc;
+use parparaw::parallel::SplitMix64;
 use parparaw::prelude::*;
 use parparaw::workloads::{taxi, yelp};
-use proptest::prelude::*;
 
 fn opts(schema: Option<Schema>) -> ParserOptions {
     ParserOptions {
@@ -34,10 +34,7 @@ fn taxi_csv_roundtrip() {
 
 #[test]
 fn ipc_roundtrip_on_parsed_tables() {
-    for data in [
-        yelp::generate(60_000, 23),
-        taxi::generate(60_000, 24),
-    ] {
+    for data in [yelp::generate(60_000, 23), taxi::generate(60_000, 24)] {
         let out = parse_csv(&data, opts(None)).unwrap();
         let bytes = ipc::write_table(&out.table);
         let back = ipc::read_table(&bytes).unwrap();
@@ -45,19 +42,31 @@ fn ipc_roundtrip_on_parsed_tables() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn csv_write_parse_is_identity(
-        rows in proptest::collection::vec(
-            proptest::collection::vec("[ -~]{0,12}", 1..5), 0..8),
-    ) {
+#[test]
+fn csv_write_parse_is_identity() {
+    let mut rng = SplitMix64::new(0x27_0001);
+    for case in 0..48 {
         // Build a table of arbitrary printable strings, write it, parse it
         // back with a fixed column count, and compare cell by cell.
+        let n_rows = rng.next_below(8) as usize;
+        let rows: Vec<Vec<String>> = (0..n_rows)
+            .map(|_| {
+                let n_fields = rng.next_range(1, 4) as usize;
+                (0..n_fields)
+                    .map(|_| {
+                        let len = rng.next_below(13) as usize;
+                        (0..len)
+                            .map(|_| rng.next_range(b' ' as u64, b'~' as u64) as u8 as char)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
         let ncols = rows.iter().map(|r| r.len()).max().unwrap_or(1);
         let schema = Schema::new(
-            (0..ncols).map(|i| Field::new(&format!("c{i}"), DataType::Utf8)).collect(),
+            (0..ncols)
+                .map(|i| Field::new(&format!("c{i}"), DataType::Utf8))
+                .collect(),
         );
         let columns: Vec<Column> = (0..ncols)
             .map(|c| {
@@ -72,7 +81,7 @@ proptest! {
 
         let csv = write_csv(&table, &CsvWriteOptions::default());
         let parsed = parse_csv(&csv, opts(Some(schema))).unwrap();
-        prop_assert_eq!(parsed.table.num_rows(), table.num_rows());
+        assert_eq!(parsed.table.num_rows(), table.num_rows(), "case {case}");
         for r in 0..table.num_rows() {
             for c in 0..ncols {
                 let want = match table.value(r, c) {
@@ -81,29 +90,40 @@ proptest! {
                     Value::Utf8(s) if s.is_empty() => Value::Null,
                     v => v,
                 };
-                prop_assert_eq!(parsed.table.value(r, c), want, "row {} col {}", r, c);
+                assert_eq!(
+                    parsed.table.value(r, c),
+                    want,
+                    "case {case} row {r} col {c}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn ipc_roundtrip_arbitrary_numeric_tables(
-        ints in proptest::collection::vec(any::<i64>(), 0..50),
-        floats in proptest::collection::vec(any::<f64>().prop_filter("no NaN", |f| !f.is_nan()), 0..50),
-    ) {
-        let n = ints.len().min(floats.len());
+#[test]
+fn ipc_roundtrip_arbitrary_numeric_tables() {
+    let mut rng = SplitMix64::new(0x27_0002);
+    for case in 0..48 {
+        let n = rng.next_below(50) as usize;
+        let ints: Vec<i64> = (0..n).map(|_| rng.next_u64() as i64).collect();
+        let floats: Vec<f64> = (0..n)
+            .map(|_| loop {
+                // Any bit pattern except NaN (NaN != NaN breaks equality).
+                let f = f64::from_bits(rng.next_u64());
+                if !f.is_nan() {
+                    break f;
+                }
+            })
+            .collect();
         let table = parparaw::columnar::Table::new(
             Schema::new(vec![
                 Field::new("i", DataType::Int64),
                 Field::new("f", DataType::Float64),
             ]),
-            vec![
-                Column::from_i64(ints[..n].to_vec(), None),
-                Column::from_f64(floats[..n].to_vec(), None),
-            ],
+            vec![Column::from_i64(ints, None), Column::from_f64(floats, None)],
         )
         .unwrap();
         let back = ipc::read_table(&ipc::write_table(&table)).unwrap();
-        prop_assert_eq!(back, table);
+        assert_eq!(back, table, "case {case}");
     }
 }

@@ -1,0 +1,71 @@
+//! Streaming partitions must be byte-identical to the monolithic parse.
+//!
+//! With a fixed schema (so per-partition type inference cannot diverge),
+//! feeding the input through `parse_stream` in small partitions must
+//! reproduce the whole-input parse exactly — same IPC bytes — for any
+//! worker count and any tagging mode. This pins the executor's arena
+//! reuse and the carry/retag logic at partition boundaries.
+
+use parparaw::columnar::ipc;
+use parparaw::prelude::*;
+use parparaw::workloads::yelp;
+
+fn schema() -> Schema {
+    yelp::schema()
+}
+
+fn parser(workers: usize, mode: TaggingMode) -> Parser {
+    let opts = ParserOptions {
+        grid: Grid::new(workers),
+        schema: Some(schema()),
+        tagging: mode,
+        ..ParserOptions::default()
+    }
+    .chunk_size(17);
+    Parser::new(rfc4180(&CsvDialect::default()), opts)
+}
+
+#[test]
+fn streaming_is_byte_identical_across_workers_and_modes() {
+    let input = yelp::generate(40_000, 7);
+    let modes = [
+        TaggingMode::inline_default(),
+        TaggingMode::VectorDelimited,
+        TaggingMode::RecordTagged,
+    ];
+    // The reference: single whole-input parse at one worker, inline mode.
+    let reference = parser(1, modes[0]).parse(&input).unwrap();
+    let reference_bytes = ipc::write_table(&reference.table);
+
+    for workers in [1usize, 2, 8] {
+        for mode in modes {
+            let p = parser(workers, mode);
+            let mono = p.parse(&input).unwrap();
+            assert_eq!(
+                ipc::write_table(&mono.table),
+                reference_bytes,
+                "monolithic parse diverged: workers={workers} mode={mode:?}"
+            );
+            for partition in [512usize, 4096] {
+                let streamed = p.parse_stream(&input, partition).unwrap();
+                assert_eq!(
+                    ipc::write_table(&streamed.table),
+                    reference_bytes,
+                    "stream diverged: workers={workers} mode={mode:?} partition={partition}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn partition_iterator_concatenates_to_the_monolithic_table() {
+    let input = yelp::generate(20_000, 11);
+    let p = parser(2, TaggingMode::inline_default());
+    let mono = p.parse(&input).unwrap();
+    let mut rows = 0usize;
+    for part in p.partitions(&input, 1024) {
+        rows += part.unwrap().num_rows();
+    }
+    assert_eq!(rows, mono.table.num_rows());
+}

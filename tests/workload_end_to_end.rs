@@ -136,10 +136,7 @@ fn skewed_input_stays_correct_and_collaborative() {
 #[test]
 fn log_workload_round_trips_with_directives() {
     let data = logs::generate(80_000, 6, true);
-    let parser = Parser::new(
-        parparaw::dfa::log::extended_log(),
-        opts(logs::schema()),
-    );
+    let parser = Parser::new(parparaw::dfa::log::extended_log(), opts(logs::schema()));
     let out = parser.parse(&data).unwrap();
     assert!(out.table.num_rows() > 100);
     assert_eq!(out.stats.rejected_records, 0);
