@@ -31,6 +31,12 @@ pub enum ParseError {
         /// The configured terminator byte.
         terminator: u8,
     },
+    /// `ParserOptions::skip_rows` was set on a streaming parse. Row
+    /// indexes refer to the whole input, but streaming parses each
+    /// partition independently (and carry-over is sliced from the
+    /// unpruned bytes), so applying them per partition would silently
+    /// corrupt the output. Prune rows before streaming instead.
+    SkipRowsInStreaming,
 }
 
 impl std::fmt::Display for ParseError {
@@ -54,6 +60,11 @@ impl std::fmt::Display for ParseError {
                 f,
                 "inline terminator byte 0x{terminator:02X} occurs in field data"
             ),
+            ParseError::SkipRowsInStreaming => write!(
+                f,
+                "skip_rows indexes rows of the whole input and is not \
+                 supported when parsing streaming partitions"
+            ),
         }
     }
 }
@@ -75,5 +86,8 @@ mod tests {
         assert!(e.to_string().contains("2..5"));
         let e = ParseError::TerminatorInData { terminator: 0x1F };
         assert!(e.to_string().contains("0x1F"));
+        assert!(ParseError::SkipRowsInStreaming
+            .to_string()
+            .contains("skip_rows"));
     }
 }

@@ -34,6 +34,8 @@ pub struct Partitioned {
 /// The consumed tag buffers go back to the executor's arena (so the next
 /// pipeline run's `tag` launch reuses them) and the output symbol/tag
 /// arrays come from it (labels `partition/symbols`, `partition/rec-tags`).
+/// The pipeline puts those outputs back once the convert phase has
+/// consumed the CSSs, closing the reuse cycle across streaming runs.
 pub fn partition_by_column(
     exec: &KernelExecutor,
     tagged: Tagged,

@@ -84,6 +84,12 @@ impl Parser {
     ) -> Result<(ParseOutput, usize), ParseError> {
         let o = &self.options;
         let cs = o.chunk_size;
+        // Row pruning is whole-input: its indexes don't translate to
+        // partition-local rows, and the caller slices carry-over from the
+        // *unpruned* bytes, so it cannot combine with streaming.
+        if drop_trailing && !o.skip_rows.is_empty() {
+            return Err(ParseError::SkipRowsInStreaming);
+        }
         // Leftover records from an aborted earlier run must not leak into
         // this run's timings.
         let _ = exec.drain_log();
@@ -313,6 +319,17 @@ impl Parser {
             columns.push(out.column);
             fields_meta.push(field);
         }
+
+        // Conversion has copied everything it needs out of the CSSs, so
+        // the partition outputs return to the arena for the next run.
+        // Inline mode's symbol buffer is the tag phase's own output riding
+        // through the sort, so it goes back under the tag label.
+        let arena = exec.arena();
+        match o.tagging {
+            TaggingMode::InlineTerminated { .. } => arena.put_u8("tag/symbols", part.symbols),
+            _ => arena.put_u8("partition/symbols", part.symbols),
+        }
+        arena.put_u32("partition/rec-tags", part.rec_tags);
 
         let table = Table::new(Schema::new(fields_meta), columns)
             .expect("pipeline produces equal-length columns");
@@ -640,6 +657,23 @@ mod tests {
     }
 
     #[test]
+    fn arena_reaches_steady_state_across_runs() {
+        // Every buffer a run takes from the arena must come back by the
+        // end of that run — including the partition outputs, which are
+        // only released after conversion — so a second run on the same
+        // executor allocates nothing new.
+        let input = b"1941,199.99,\"Bookcase\"\n1938,19.99,\"Frame\"\n";
+        let parser = Parser::new(rfc4180(&CsvDialect::default()), opts());
+        let exec = KernelExecutor::new(Grid::new(2));
+        parser.parse_with(&exec, input, false).unwrap();
+        let (_, misses_first) = exec.arena().stats();
+        parser.parse_with(&exec, input, false).unwrap();
+        let (hits, misses_second) = exec.arena().stats();
+        assert_eq!(misses_second, misses_first, "second run allocated fresh");
+        assert!(hits >= 5, "expected the second run's takes to hit: {hits}");
+    }
+
+    #[test]
     fn comments_dialect_end_to_end() {
         let dfa = rfc4180(&CsvDialect {
             comment: Some(b'#'),
@@ -684,6 +718,37 @@ mod skip_rows_tests {
         assert_eq!(out.table.value(0, 0), Value::Int64(1));
         assert_eq!(out.table.value(0, 1), Value::Utf8("two\nlines".into()));
         assert_eq!(out.table.value(1, 1), Value::Utf8("x".into()));
+    }
+
+    #[test]
+    fn skip_rows_rejected_when_streaming() {
+        // Row indexes are whole-input; applying them per partition (with
+        // carry sliced from unpruned bytes) would corrupt output, so every
+        // streaming entry point rejects the combination up front.
+        let input = b"drop me\n1,a\n2,b\n3,c\n";
+        let p = Parser::new(
+            rfc4180(&CsvDialect::default()),
+            ParserOptions {
+                skip_rows: vec![0],
+                ..opts()
+            },
+        );
+        assert!(matches!(
+            p.parse_partition(input),
+            Err(ParseError::SkipRowsInStreaming)
+        ));
+        assert!(matches!(
+            p.parse_stream(input, 8),
+            Err(ParseError::SkipRowsInStreaming)
+        ));
+        let mut it = p.partitions(input, 8);
+        assert!(matches!(
+            it.next(),
+            Some(Err(ParseError::SkipRowsInStreaming))
+        ));
+        assert!(it.next().is_none());
+        // The whole-input path still accepts it.
+        assert_eq!(p.parse(input).unwrap().table.num_rows(), 3);
     }
 
     #[test]

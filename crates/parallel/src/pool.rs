@@ -16,6 +16,12 @@
 //! any pool width — the pool only changes *who* executes a range, never
 //! *which* ranges exist.
 //!
+//! The epoch protocol assumes one dispatcher at a time, so concurrent
+//! `dispatch` calls (the pool is shared by every clone of a
+//! [`crate::grid::Grid`], and grids may be used from several threads) are
+//! serialized on an internal mutex: the second dispatcher blocks until
+//! the first launch has fully completed.
+//!
 //! Nested launches (a grid call made from inside a running job) execute
 //! inline on the calling worker rather than re-entering the pool, which
 //! both avoids deadlock and matches the GPU model where a thread block
@@ -71,6 +77,11 @@ pub struct WorkerPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     width: usize,
+    /// Serializes dispatchers: the epoch/slot/remaining protocol supports
+    /// exactly one in-flight launch, but the pool is shared (`&self`,
+    /// `Sync`) so concurrent `dispatch` calls must queue here. Held for
+    /// the whole publish → run → wait sequence.
+    dispatch_lock: Mutex<()>,
 }
 
 impl WorkerPool {
@@ -102,6 +113,7 @@ impl WorkerPool {
             shared,
             handles,
             width,
+            dispatch_lock: Mutex::new(()),
         }
     }
 
@@ -118,7 +130,8 @@ impl WorkerPool {
     /// Panics propagate to the caller (the caller's own payload wins if
     /// both it and a pool worker panicked). `parts` must not exceed
     /// [`Self::width`]. Nested calls from inside a job run all parts
-    /// inline, sequentially, on the calling worker.
+    /// inline, sequentially, on the calling worker. Concurrent calls from
+    /// different threads are safe: they serialize, one launch at a time.
     pub fn dispatch<'a>(&self, parts: usize, job: &'a (dyn Fn(usize) + Sync + 'a)) {
         assert!(parts <= self.width, "dispatch wider than the pool");
         if parts == 0 {
@@ -130,6 +143,16 @@ impl WorkerPool {
             }
             return;
         }
+
+        // One launch at a time: a second dispatcher publishing while this
+        // one is in flight would clobber slot/remaining and either free
+        // the job while workers still hold the erased pointer or drop a
+        // chunk range on the floor. Poisoning is survivable — the state
+        // below is re-initialised per launch.
+        let guard = self
+            .dispatch_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
 
         // Erase the job's borrow lifetime; `dispatch` outlives every use
         // of the pointer because it blocks below until all workers report
@@ -156,6 +179,7 @@ impl WorkerPool {
         c.slot = None;
         let worker_panicked = c.panicked;
         drop(c);
+        drop(guard);
 
         match caller {
             Err(payload) => resume_unwind(payload),
@@ -275,6 +299,35 @@ mod tests {
             });
         });
         assert_eq!(inner_hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn concurrent_dispatchers_serialize() {
+        // Two threads share one pool (as two clones of a Grid would) and
+        // dispatch concurrently; every launch must run each worker id
+        // exactly once, with no launch lost or job freed early.
+        let pool = WorkerPool::new(3);
+        let rounds = 200usize;
+        let per_thread: Vec<AtomicUsize> = (0..2).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for counter in &per_thread {
+                let pool = &pool;
+                s.spawn(move || {
+                    for _ in 0..rounds {
+                        // Each dispatcher borrows its own stack data, so a
+                        // clobbered launch that let `dispatch` return early
+                        // would show up as a lost count (or a crash).
+                        let local = AtomicUsize::new(0);
+                        pool.dispatch(3, &|_| {
+                            local.fetch_add(1, Ordering::Relaxed);
+                        });
+                        counter.fetch_add(local.load(Ordering::Relaxed), Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(per_thread[0].load(Ordering::Relaxed), rounds * 3);
+        assert_eq!(per_thread[1].load(Ordering::Relaxed), rounds * 3);
     }
 
     #[test]
