@@ -39,9 +39,11 @@ fn main() {
         let ms = bench_ms(5, || {
             let mut acc = 0usize;
             for _ in 0..launches {
-                acc += exec.launch("bench/noop", workers, |grid, _| {
-                    grid.map_indexed(workers, |i| i).len()
-                });
+                acc += exec
+                    .launch("bench/noop", workers, |grid, _| {
+                        grid.map_indexed(workers, |i| i).len()
+                    })
+                    .unwrap();
             }
             let _ = exec.drain_log();
             acc

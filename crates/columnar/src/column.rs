@@ -59,6 +59,7 @@ impl Column {
             if offsets.windows(2).any(|w| w[0] > w[1]) {
                 return Err("utf8 offsets must be non-decreasing".into());
             }
+            // Invariant: `offsets` is non-empty (checked above).
             if *offsets.last().unwrap() as usize != values.len() {
                 return Err("utf8 offsets must end at values.len()".into());
             }

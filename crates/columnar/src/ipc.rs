@@ -155,6 +155,9 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(s)
     }
+    // Invariant for the `try_into().unwrap()`s below: `take(n)` returns a
+    // slice of exactly `n` bytes or errors, so the array conversion on
+    // untrusted input cannot fail.
     fn u8(&mut self) -> Result<u8, IpcError> {
         Ok(self.take(1)?[0])
     }
@@ -224,6 +227,9 @@ pub fn read_table(bytes: &[u8]) -> Result<Table, IpcError> {
 }
 
 fn read_buffers(r: &mut Reader<'_>, dtype: DataType, nrows: usize) -> Result<ColumnData, IpcError> {
+    // Invariant for every `try_into().unwrap()` below: `chunks_exact(w)`
+    // yields slices of exactly `w` bytes, so the array conversion cannot
+    // fail regardless of the input bytes.
     macro_rules! fixed {
         ($t:ty, $w:expr, $wrap:expr) => {{
             let raw = r.take(nrows * $w)?;

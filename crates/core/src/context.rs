@@ -17,7 +17,7 @@ use crate::chunks::{chunk_ranges, num_chunks};
 use crate::options::ScanAlgorithm;
 use parparaw_dfa::{Dfa, StateVector, VectorComposeOp};
 use parparaw_parallel::scan::ScanOp;
-use parparaw_parallel::{lookback, scan, Grid, KernelExecutor};
+use parparaw_parallel::{lookback, scan, Grid, KernelExecutor, LaunchError};
 
 /// The result of context determination.
 #[derive(Debug)]
@@ -36,6 +36,9 @@ pub struct ContextPass {
 pub fn determine_contexts(grid: &Grid, dfa: &Dfa, input: &[u8], chunk_size: usize) -> ContextPass {
     let exec = KernelExecutor::new(grid.clone());
     determine_contexts_with(&exec, dfa, input, chunk_size, ScanAlgorithm::Blocked)
+        // Invariant: a throwaway executor has no fault injection and the
+        // kernels contain no panicking paths on any byte input.
+        .expect("context kernels cannot fail without fault injection")
 }
 
 /// Run pass 1 with an explicit scan algorithm as two executor launches.
@@ -45,7 +48,7 @@ pub fn determine_contexts_with(
     input: &[u8],
     chunk_size: usize,
     algorithm: ScanAlgorithm,
-) -> ContextPass {
+) -> Result<ContextPass, LaunchError> {
     let n_chunks = num_chunks(input.len(), chunk_size);
     let ranges: Vec<std::ops::Range<usize>> = chunk_ranges(input.len(), chunk_size).collect();
 
@@ -58,7 +61,7 @@ pub fn determine_contexts_with(
         grid.map_indexed(n_chunks, |c| {
             dfa.transition_vector(&input[ranges[c].clone()])
         })
-    });
+    })?;
 
     // Exclusive scan with the composite operator.
     let start = dfa.start_state();
@@ -87,13 +90,13 @@ pub fn determine_contexts_with(
             total.get(start)
         };
         (start_states, final_state)
-    });
+    })?;
 
-    ContextPass {
+    Ok(ContextPass {
         vectors,
         start_states,
         final_state,
-    }
+    })
 }
 
 impl ContextPass {
@@ -177,9 +180,11 @@ mod tests {
             .collect();
         for workers in [1usize, 4] {
             let exec = KernelExecutor::new(Grid::new(workers));
-            let blocked = determine_contexts_with(&exec, &dfa, &input, 13, ScanAlgorithm::Blocked);
+            let blocked =
+                determine_contexts_with(&exec, &dfa, &input, 13, ScanAlgorithm::Blocked).unwrap();
             let lb =
-                determine_contexts_with(&exec, &dfa, &input, 13, ScanAlgorithm::DecoupledLookback);
+                determine_contexts_with(&exec, &dfa, &input, 13, ScanAlgorithm::DecoupledLookback)
+                    .unwrap();
             assert_eq!(blocked.start_states, lb.start_states);
             assert_eq!(blocked.final_state, lb.final_state);
         }

@@ -15,6 +15,7 @@
 //! `reject` flags).
 
 use crate::css::FieldIndex;
+use crate::diag::{DiagSink, RecordDiagnostic, RejectReason};
 use parparaw_columnar::value::{ymd_to_days, Value};
 use parparaw_columnar::{Column, ColumnData, DataType, Validity};
 use parparaw_device::WorkProfile;
@@ -297,6 +298,34 @@ pub fn convert_column(
     rejected: &Bitmap,
     collaboration_threshold: usize,
 ) -> ConvertedColumn {
+    convert_column_with_diags(
+        grid,
+        css,
+        index,
+        num_rows,
+        dtype,
+        default,
+        rejected,
+        collaboration_threshold,
+        None,
+    )
+}
+
+/// [`convert_column`], additionally reporting each failed conversion as a
+/// [`RecordDiagnostic`] on the sink (tagged with the given output-column
+/// index). The sink de-duplicates, so a retried launch is safe.
+#[allow(clippy::too_many_arguments)]
+pub fn convert_column_with_diags(
+    grid: &Grid,
+    css: &[u8],
+    index: &FieldIndex,
+    num_rows: usize,
+    dtype: DataType,
+    default: Option<&Value>,
+    rejected: &Bitmap,
+    collaboration_threshold: usize,
+    diags: Option<(&DiagSink, u32)>,
+) -> ConvertedColumn {
     let rejects = AtomicU64::new(0);
     let collab = AtomicU64::new(0);
     let block_level = AtomicU64::new(0);
@@ -328,6 +357,7 @@ pub fn convert_column(
             rejected,
             &rejects,
             &mut profile,
+            diags,
         ),
     };
 
@@ -353,6 +383,7 @@ fn convert_fixed(
     rejected: &Bitmap,
     rejects: &AtomicU64,
     profile: &mut WorkProfile,
+    diags: Option<(&DiagSink, u32)>,
 ) -> Column {
     profile.bytes_written += num_rows as u64 * dtype.value_width() as u64;
 
@@ -388,6 +419,16 @@ fn convert_fixed(
                             },
                             None => {
                                 rejects.fetch_add(1, Ordering::Relaxed);
+                                if let Some((sink, out_col)) = diags {
+                                    sink.push(RecordDiagnostic {
+                                        record: row as u64,
+                                        column: Some(out_col),
+                                        byte_offset: None,
+                                        reason: RejectReason::ConversionFailed {
+                                            data_type: dtype.to_string(),
+                                        },
+                                    });
+                                }
                                 unsafe { vw.write(row, 0) };
                             }
                         }

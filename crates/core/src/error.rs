@@ -1,8 +1,17 @@
 //! Parse errors.
 
-/// Errors surfaced by the parsing pipeline. Malformed *data* never errors
-/// — it lands in per-record reject flags — so these are configuration and
-/// format-level failures only.
+use crate::diag::RecordDiagnostic;
+use parparaw_parallel::LaunchError;
+
+/// Errors surfaced by the parsing pipeline. Under the default
+/// [`Permissive`](crate::options::ErrorPolicy::Permissive) policy,
+/// malformed *data* never errors — it lands in per-record reject flags and
+/// diagnostics — so most of these are configuration and format-level
+/// failures; [`ParseError::MalformedRecord`] and
+/// [`ParseError::TooManyRejects`] appear only under
+/// [`Strict`](crate::options::ErrorPolicy::Strict) or a `max_rejects`
+/// budget, and [`ParseError::Launch`] when a kernel launch exhausts its
+/// retries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
     /// A selected column index is out of range.
@@ -37,6 +46,25 @@ pub enum ParseError {
     /// unpruned bytes), so applying them per partition would silently
     /// corrupt the output. Prune rows before streaming instead.
     SkipRowsInStreaming,
+    /// A kernel launch failed (worker panic or injected fault) and
+    /// exhausted its retry budget.
+    Launch(LaunchError),
+    /// Under [`ErrorPolicy::Strict`](crate::options::ErrorPolicy::Strict),
+    /// the first malformed record aborts the parse with its diagnostic.
+    MalformedRecord(RecordDiagnostic),
+    /// The `max_rejects` budget was exceeded.
+    TooManyRejects {
+        /// Rejected records observed so far.
+        rejects: u64,
+        /// The configured budget.
+        max_rejects: u64,
+    },
+}
+
+impl From<LaunchError> for ParseError {
+    fn from(e: LaunchError) -> Self {
+        ParseError::Launch(e)
+    }
 }
 
 impl std::fmt::Display for ParseError {
@@ -65,6 +93,15 @@ impl std::fmt::Display for ParseError {
                 "skip_rows indexes rows of the whole input and is not \
                  supported when parsing streaming partitions"
             ),
+            ParseError::Launch(e) => write!(f, "kernel launch failed: {e}"),
+            ParseError::MalformedRecord(d) => write!(f, "malformed record: {d}"),
+            ParseError::TooManyRejects {
+                rejects,
+                max_rejects,
+            } => write!(
+                f,
+                "{rejects} rejected records exceed the max_rejects budget of {max_rejects}"
+            ),
         }
     }
 }
@@ -89,5 +126,18 @@ mod tests {
         assert!(ParseError::SkipRowsInStreaming
             .to_string()
             .contains("skip_rows"));
+        let e = ParseError::TooManyRejects {
+            rejects: 10,
+            max_rejects: 4,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("4"));
+        let e = ParseError::MalformedRecord(RecordDiagnostic {
+            record: 3,
+            column: None,
+            byte_offset: None,
+            reason: crate::diag::RejectReason::InvalidSyntax,
+        });
+        assert!(e.to_string().contains("record 3"));
     }
 }

@@ -58,6 +58,7 @@ pub mod chunks;
 pub mod context;
 pub mod convert;
 pub mod css;
+pub mod diag;
 pub mod encoding;
 pub mod error;
 pub mod infer;
@@ -70,8 +71,9 @@ pub mod streaming;
 pub mod tagging;
 pub mod timings;
 
+pub use diag::{RecordDiagnostic, RejectReason};
 pub use error::ParseError;
-pub use options::{ParserOptions, ScanAlgorithm, TaggingMode};
+pub use options::{ErrorPolicy, FaultInjection, ParserOptions, ScanAlgorithm, TaggingMode};
 pub use pipeline::{parse_csv, Parser};
 pub use streaming::{PartitionIter, PartitionReport, StreamedOutput};
 pub use timings::{ParseOutput, ParseStats, PhaseTimings, SimulatedTimings};

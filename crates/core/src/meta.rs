@@ -17,7 +17,7 @@
 use crate::chunks::{chunk_ranges, num_chunks};
 use parparaw_dfa::Dfa;
 use parparaw_parallel::scan::{self, ScanOp};
-use parparaw_parallel::{reduce, AtomicBitmap, Bitmap, KernelExecutor};
+use parparaw_parallel::{reduce, AtomicBitmap, Bitmap, KernelExecutor, LaunchError};
 
 /// A column offset that is either relative (no record delimiter seen, the
 /// offset adds to the predecessor's) or absolute (paper Fig. 4).
@@ -127,7 +127,7 @@ pub fn identify_columns_and_records(
     input: &[u8],
     chunk_size: usize,
     start_states: &[u8],
-) -> MetaPass {
+) -> Result<MetaPass, LaunchError> {
     let n = input.len();
     let n_chunks = num_chunks(n, chunk_size);
     debug_assert_eq!(start_states.len(), n_chunks);
@@ -185,14 +185,24 @@ pub fn identify_columns_and_records(
             };
             meta
         })
-    });
+    })?;
 
     let records = records.into_bitmap();
     let fields = fields.into_bitmap();
     let control = control.into_bitmap();
     let rejects = rejects.into_bitmap();
 
-    exec.launch("scan/offsets", n_chunks, |grid, counters| {
+    // The closure only borrows the bitmaps and chunk metadata, so a
+    // retried launch recomputes from unchanged inputs.
+    let (
+        record_offsets,
+        col_offsets,
+        total_record_delims,
+        has_trailing_record,
+        trailing_columns,
+        observed_columns,
+        observed_columns_closed,
+    ) = exec.launch("scan/offsets", n_chunks, |grid, counters| {
         counters.kernel_launches = 6; // two scans + reduction
         counters.bytes_read = (n_chunks as u64) * 24 * 2;
         counters.bytes_written = (n_chunks as u64) * 12;
@@ -260,21 +270,32 @@ pub fn identify_columns_and_records(
         }
         let observed_columns = (num_records > 0).then_some((mn, mx));
 
-        MetaPass {
-            records,
-            fields,
-            control,
-            rejects,
-            chunk_meta,
+        (
             record_offsets,
             col_offsets,
             total_record_delims,
-            num_records,
             has_trailing_record,
             trailing_columns,
             observed_columns,
             observed_columns_closed,
-        }
+        )
+    })?;
+
+    let num_records = total_record_delims + u64::from(has_trailing_record);
+    Ok(MetaPass {
+        records,
+        fields,
+        control,
+        rejects,
+        chunk_meta,
+        record_offsets,
+        col_offsets,
+        total_record_delims,
+        num_records,
+        has_trailing_record,
+        trailing_columns,
+        observed_columns,
+        observed_columns_closed,
     })
 }
 
@@ -289,8 +310,9 @@ mod tests {
     fn run(input: &[u8], chunk_size: usize, workers: usize) -> MetaPass {
         let dfa = rfc4180_paper();
         let exec = KernelExecutor::new(Grid::new(workers));
-        let ctx = determine_contexts_with(&exec, &dfa, input, chunk_size, ScanAlgorithm::Blocked);
-        identify_columns_and_records(&exec, &dfa, input, chunk_size, &ctx.start_states)
+        let ctx = determine_contexts_with(&exec, &dfa, input, chunk_size, ScanAlgorithm::Blocked)
+            .unwrap();
+        identify_columns_and_records(&exec, &dfa, input, chunk_size, &ctx.start_states).unwrap()
     }
 
     #[test]

@@ -2,8 +2,54 @@
 
 use parparaw_columnar::Schema;
 use parparaw_device::DeviceConfig;
-use parparaw_parallel::Grid;
+use parparaw_parallel::{Grid, KernelExecutor, RetryPolicy};
 use std::collections::HashSet;
+
+/// What to do when a record fails validation (paper §4.3's "rejection of
+/// malformed fields", made configurable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorPolicy {
+    /// The first malformed record aborts the parse with
+    /// [`crate::ParseError::MalformedRecord`] carrying its diagnostic.
+    Strict,
+    /// Malformed records are nulled out (the paper's behaviour) and
+    /// diagnostics are collected up to a cap; past the cap only the
+    /// dropped counter advances.
+    Permissive {
+        /// Maximum diagnostics retained on [`crate::ParseOutput`].
+        max_diagnostics: usize,
+    },
+}
+
+impl Default for ErrorPolicy {
+    fn default() -> Self {
+        ErrorPolicy::Permissive {
+            max_diagnostics: 64,
+        }
+    }
+}
+
+impl ErrorPolicy {
+    /// The diagnostic cap this policy implies (Strict keeps one: the
+    /// record it aborts on).
+    pub fn diagnostic_cap(&self) -> usize {
+        match self {
+            ErrorPolicy::Strict => 1,
+            ErrorPolicy::Permissive { max_diagnostics } => *max_diagnostics,
+        }
+    }
+}
+
+/// Deterministic fault injection for testing the retry path: each kernel
+/// launch attempt fails with probability `rate`, driven by a
+/// SplitMix64 stream seeded with `seed` (same seed → same faults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjection {
+    /// PRNG seed.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a launch attempt fails.
+    pub rate: f64,
+}
 
 /// How symbols are associated with their field after partitioning
 /// (paper §4.1, Figure 6).
@@ -98,6 +144,16 @@ pub struct ParserOptions {
     pub device: DeviceConfig,
     /// Prefix-scan implementation for the context scan.
     pub scan_algorithm: ScanAlgorithm,
+    /// What to do with malformed records (§4.3).
+    pub error_policy: ErrorPolicy,
+    /// Abort the parse with [`crate::ParseError::TooManyRejects`] once
+    /// more than this many records reject. `None` is unbounded.
+    pub max_rejects: Option<u64>,
+    /// Retry policy for kernel launches (attempts and the degradation
+    /// point from the persistent pool to spawn-per-launch).
+    pub retry: RetryPolicy,
+    /// Optional deterministic fault injection, for testing retries.
+    pub fault_injection: Option<FaultInjection>,
 }
 
 impl Default for ParserOptions {
@@ -116,6 +172,10 @@ impl Default for ParserOptions {
             collaboration_threshold: None,
             device: DeviceConfig::titan_x_pascal(),
             scan_algorithm: ScanAlgorithm::default(),
+            error_policy: ErrorPolicy::default(),
+            max_rejects: None,
+            retry: RetryPolicy::default(),
+            fault_injection: None,
         }
     }
 }
@@ -147,10 +207,32 @@ impl ParserOptions {
         self
     }
 
+    /// Builder-style error-policy override.
+    pub fn error_policy(mut self, policy: ErrorPolicy) -> Self {
+        self.error_policy = policy;
+        self
+    }
+
+    /// Builder-style retry-policy override.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// The effective collaboration threshold.
     pub fn effective_collaboration_threshold(&self) -> usize {
         self.collaboration_threshold
             .unwrap_or_else(|| self.device.collaboration_threshold_bytes())
+    }
+
+    /// Build a [`KernelExecutor`] configured with this options' grid,
+    /// retry policy, and (if set) fault injector.
+    pub fn build_executor(&self) -> KernelExecutor {
+        let mut exec = KernelExecutor::new(self.grid.clone()).with_retry(self.retry);
+        if let Some(fi) = self.fault_injection {
+            exec = exec.with_fault_injection(fi.seed, fi.rate);
+        }
+        exec
     }
 }
 
@@ -187,5 +269,30 @@ mod tests {
             ..ParserOptions::default()
         };
         assert_eq!(o.effective_collaboration_threshold(), 1234);
+    }
+
+    #[test]
+    fn executor_reflects_fault_options() {
+        let o = ParserOptions {
+            retry: RetryPolicy::attempts(5),
+            fault_injection: Some(FaultInjection {
+                seed: 42,
+                rate: 0.25,
+            }),
+            ..ParserOptions::default()
+        };
+        let exec = o.build_executor();
+        assert_eq!(exec.retry_policy().max_attempts, 5);
+        assert_eq!(exec.fault_injector().unwrap().rate(), 0.25);
+        assert!(ParserOptions::default()
+            .build_executor()
+            .fault_injector()
+            .is_none());
+    }
+
+    #[test]
+    fn error_policy_caps() {
+        assert_eq!(ErrorPolicy::Strict.diagnostic_cap(), 1);
+        assert_eq!(ErrorPolicy::default().diagnostic_cap(), 64);
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::tagging::Tagged;
 use parparaw_parallel::scan::{exclusive_scan_seq, AddOp};
-use parparaw_parallel::{histogram, radix, KernelExecutor};
+use parparaw_parallel::{histogram, radix, KernelExecutor, LaunchError};
 
 /// Column-partitioned symbol data.
 #[derive(Debug)]
@@ -40,14 +40,16 @@ pub fn partition_by_column(
     exec: &KernelExecutor,
     tagged: Tagged,
     num_columns: usize,
-) -> Partitioned {
+) -> Result<Partitioned, LaunchError> {
     let n = tagged.symbols.len();
     let num_columns = num_columns.max(1);
     let max_key = (num_columns - 1) as u32;
     let digit_bits = 8u32;
     let passes = (32 - max_key.leading_zeros()).div_ceil(digit_bits).max(1);
 
-    exec.launch("partition", n, |grid, counters| {
+    // `launch_once` because the sort consumes the tagged buffers; injected
+    // faults (which fire before the job body runs) still retry.
+    exec.launch_once("partition", n, |grid, counters| {
         // The histogram over column tags gives the CSS offsets (reusing the
         // sort's histogram, as the paper notes).
         let hist = histogram::histogram(grid, &tagged.col_tags, num_columns);
@@ -61,6 +63,8 @@ pub fn partition_by_column(
             match (&tagged.delim_flags, !tagged.rec_tags.is_empty()) {
                 (Some(_), _) => {
                     // Vector-delimited: payload = (symbol, flag).
+                    // Invariant: this match arm only fires when
+                    // `delim_flags` is `Some`.
                     let flags = tagged.delim_flags.unwrap();
                     let mut values: Vec<(u8, bool)> = tagged
                         .symbols
@@ -163,8 +167,8 @@ mod tests {
     fn tag(input: &[u8], mode: TaggingMode, cols: usize) -> (KernelExecutor, Tagged) {
         let dfa = rfc4180_paper();
         let exec = KernelExecutor::new(Grid::new(3));
-        let ctx = determine_contexts_with(&exec, &dfa, input, 7, ScanAlgorithm::Blocked);
-        let meta = identify_columns_and_records(&exec, &dfa, input, 7, &ctx.start_states);
+        let ctx = determine_contexts_with(&exec, &dfa, input, 7, ScanAlgorithm::Blocked).unwrap();
+        let meta = identify_columns_and_records(&exec, &dfa, input, 7, &ctx.start_states).unwrap();
         let col_map: Vec<Option<u32>> = (0..cols as u32).map(Some).collect();
         let cfg = TagConfig {
             mode,
@@ -172,8 +176,9 @@ mod tests {
             skip_records: &[],
             expected_columns: None,
             num_out_rows: meta.num_records,
+            diags: None,
         };
-        let t = tag_symbols(&exec, input, 7, &meta, &cfg);
+        let t = tag_symbols(&exec, input, 7, &meta, &cfg).unwrap();
         (exec, t)
     }
 
@@ -181,7 +186,7 @@ mod tests {
     fn figure5_record_tagged_partitioning() {
         let input = b"1941,199.99,\"Bookcase\"\n1938,19.99,\"Frame\n\"\"Ribba\"\", black\"\n";
         let (exec, t) = tag(input, TaggingMode::RecordTagged, 3);
-        let p = partition_by_column(&exec, t, 3);
+        let p = partition_by_column(&exec, t, 3).unwrap();
         // Paper Fig. 5: the three columns' CSSs.
         assert_eq!(p.css(0), b"19411938");
         assert_eq!(p.css(1), b"199.9919.99");
@@ -195,7 +200,7 @@ mod tests {
     fn figure6_inline_partitioning() {
         let input = b"0,\"Apples\"\n1,\n2,\"Pears\"\n";
         let (exec, t) = tag(input, TaggingMode::InlineTerminated { terminator: 0 }, 2);
-        let p = partition_by_column(&exec, t, 2);
+        let p = partition_by_column(&exec, t, 2).unwrap();
         assert_eq!(p.css(0), b"0\x001\x002\x00");
         assert_eq!(p.css(1), b"Apples\0\0Pears\0");
         assert!(p.css_rec_tags(0).is_empty());
@@ -205,7 +210,7 @@ mod tests {
     fn figure6_vector_partitioning() {
         let input = b"0,\"Apples\"\n1,\n2,\"Pears\"\n";
         let (exec, t) = tag(input, TaggingMode::VectorDelimited, 2);
-        let p = partition_by_column(&exec, t, 2);
+        let p = partition_by_column(&exec, t, 2).unwrap();
         assert_eq!(p.css(1), b"Apples\n\nPears\n");
         let flags = p.css_flags(1).unwrap();
         let delim_positions: Vec<usize> = flags
@@ -227,7 +232,7 @@ mod tests {
             .join(",");
         let input = format!("{row}\n{row}\n");
         let (exec, t) = tag(input.as_bytes(), TaggingMode::RecordTagged, cols);
-        let p = partition_by_column(&exec, t, cols);
+        let p = partition_by_column(&exec, t, cols).unwrap();
         assert_eq!(p.css(0), b"00");
         assert_eq!(p.css(299), b"299299");
         assert_eq!(p.css(42), b"4242");
@@ -236,7 +241,7 @@ mod tests {
     #[test]
     fn empty_input_partitions() {
         let (exec, t) = tag(b"", TaggingMode::RecordTagged, 1);
-        let p = partition_by_column(&exec, t, 1);
+        let p = partition_by_column(&exec, t, 1).unwrap();
         assert_eq!(p.num_columns(), 1);
         assert!(p.css(0).is_empty());
     }

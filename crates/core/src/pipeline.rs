@@ -19,12 +19,13 @@
 //!
 //! [`KernelExecutor`]: parparaw_parallel::KernelExecutor
 
-use crate::convert::convert_column;
+use crate::convert::convert_column_with_diags;
 use crate::css::{index_inline, index_record_tagged, index_vector, FieldIndex};
+use crate::diag::{DiagSink, RecordDiagnostic, RejectReason};
 use crate::error::ParseError;
 use crate::infer::infer_column_type;
 use crate::meta::identify_columns_and_records;
-use crate::options::{ParserOptions, TaggingMode};
+use crate::options::{ErrorPolicy, ParserOptions, TaggingMode};
 use crate::partition::partition_by_column;
 use crate::tagging::{tag_symbols, TagConfig};
 use crate::timings::{ParseOutput, ParseStats, PhaseTimings, SimulatedTimings};
@@ -32,7 +33,7 @@ use parparaw_columnar::{DataType, Field, Schema, Table};
 use parparaw_device::{CostModel, WorkProfile};
 use parparaw_dfa::csv::{rfc4180, CsvDialect};
 use parparaw_dfa::Dfa;
-use parparaw_parallel::KernelExecutor;
+use parparaw_parallel::{Bitmap, KernelExecutor};
 
 /// A configured ParPaRaw parser: a DFA (the format) plus options.
 #[derive(Debug, Clone)]
@@ -59,7 +60,7 @@ impl Parser {
 
     /// Parse `input` into a columnar table.
     pub fn parse(&self, input: &[u8]) -> Result<ParseOutput, ParseError> {
-        let exec = KernelExecutor::new(self.options.grid.clone());
+        let exec = self.options.build_executor();
         Ok(self.parse_with(&exec, input, false)?.0)
     }
 
@@ -68,7 +69,7 @@ impl Parser {
     /// it spans is returned so the caller can prepend them to the next
     /// partition (the carry-over of paper §4.4).
     pub fn parse_partition(&self, input: &[u8]) -> Result<(ParseOutput, usize), ParseError> {
-        let exec = KernelExecutor::new(self.options.grid.clone());
+        let exec = self.options.build_executor();
         self.parse_with(&exec, input, true)
     }
 
@@ -104,7 +105,7 @@ impl Parser {
             let mut skip = o.skip_rows.clone();
             skip.sort_unstable();
             skip.dedup();
-            pruned = crate::rows::prune_rows(exec, input, cs, &skip);
+            pruned = crate::rows::prune_rows(exec, input, cs, &skip)?;
             &pruned.bytes
         };
 
@@ -122,8 +123,8 @@ impl Parser {
 
         // Phases 1+2: context recovery and metadata.
         let ctx =
-            crate::context::determine_contexts_with(exec, &self.dfa, input, cs, o.scan_algorithm);
-        let meta = identify_columns_and_records(exec, &self.dfa, input, cs, &ctx.start_states);
+            crate::context::determine_contexts_with(exec, &self.dfa, input, cs, o.scan_algorithm)?;
+        let meta = identify_columns_and_records(exec, &self.dfa, input, cs, &ctx.start_states)?;
         let input_valid = self.dfa.is_accepting(ctx.final_state);
 
         // Column universe: schema count or inferred maximum. Streaming
@@ -199,15 +200,18 @@ impl Parser {
         skip.sort_unstable();
         let num_out_rows = meta.num_records - skip.len() as u64;
 
-        // Phase 3: tagging.
+        // Phase 3: tagging. Every reject the kernel marks also lands in
+        // the bounded diagnostic sink.
+        let sink = DiagSink::new(o.error_policy.diagnostic_cap());
         let cfg = TagConfig {
             mode: o.tagging,
             col_map: &col_map,
             skip_records: &skip,
             expected_columns: o.validate_column_count.then_some(num_raw_cols as u32),
             num_out_rows,
+            diags: Some(&sink),
         };
-        let tagged = tag_symbols(exec, input, cs, &meta, &cfg);
+        let tagged = tag_symbols(exec, input, cs, &meta, &cfg)?;
         if tagged.terminator_clash {
             if let TaggingMode::InlineTerminated { terminator } = o.tagging {
                 return Err(ParseError::TerminatorInData { terminator });
@@ -225,6 +229,35 @@ impl Parser {
             if let Err(rank) = skip.binary_search(&(meta.num_records - 1)) {
                 let out_row = meta.num_records - 1 - rank as u64;
                 rejected.set(out_row as usize);
+                sink.push(RecordDiagnostic {
+                    record: out_row,
+                    column: None,
+                    byte_offset: None,
+                    reason: RejectReason::ColumnCountMismatch {
+                        expected: num_raw_cols as u32,
+                        got: meta.trailing_columns,
+                    },
+                });
+            }
+        }
+
+        // Error-policy enforcement on record-level rejects: Strict aborts
+        // on the first malformed record; a max_rejects budget fails the
+        // parse once exceeded.
+        let record_rejects = rejected.count_ones();
+        if matches!(o.error_policy, ErrorPolicy::Strict) && record_rejects > 0 {
+            return Err(ParseError::MalformedRecord(first_diagnostic(
+                sink,
+                &rejected,
+                num_out_rows,
+            )));
+        }
+        if let Some(max) = o.max_rejects {
+            if record_rejects > max {
+                return Err(ParseError::TooManyRejects {
+                    rejects: record_rejects,
+                    max_rejects: max,
+                });
             }
         }
 
@@ -233,7 +266,7 @@ impl Parser {
             rejected: parparaw_parallel::Bitmap::new(0), // moved out above
             ..tagged
         };
-        let part = partition_by_column(exec, tagged_for_partition, num_out_cols);
+        let part = partition_by_column(exec, tagged_for_partition, num_out_cols)?;
 
         // Phase 5: indexing, inference, conversion — per-column launches
         // (the overhead the paper blames for small inputs, §5.1).
@@ -270,7 +303,7 @@ impl Parser {
                 counters.bytes_written = index.num_fields() as u64 * 20;
                 counters.parallel_ops = css.len() as u64;
                 index
-            });
+            })?;
             total_fields += index.num_fields() as u64;
 
             let field = match &o.schema {
@@ -282,7 +315,7 @@ impl Parser {
                             counters.bytes_read = css.len() as u64;
                             counters.parallel_ops = css.len() as u64;
                             infer_column_type(grid, css, &index)
-                        })
+                        })?
                     } else {
                         DataType::Utf8
                     };
@@ -296,7 +329,7 @@ impl Parser {
             };
 
             let out = exec.launch("convert/column", css.len(), |grid, counters| {
-                let out = convert_column(
+                let out = convert_column_with_diags(
                     grid,
                     css,
                     &index,
@@ -305,6 +338,7 @@ impl Parser {
                     field.default.as_ref(),
                     &rejected,
                     threshold,
+                    Some((&sink, out_c as u32)),
                 );
                 counters.kernel_launches = out.profile.kernel_launches;
                 counters.bytes_read = out.profile.bytes_read;
@@ -312,7 +346,14 @@ impl Parser {
                 counters.parallel_ops = out.profile.parallel_ops;
                 counters.serial_ops = out.profile.serial_ops;
                 out
-            });
+            })?;
+            if matches!(o.error_policy, ErrorPolicy::Strict) && out.reject_count > 0 {
+                return Err(ParseError::MalformedRecord(first_diagnostic(
+                    sink,
+                    &rejected,
+                    num_out_rows,
+                )));
+            }
             conversion_rejects += out.reject_count;
             collaborative_fields += out.collaborative_fields;
             block_level_fields += out.block_level_fields;
@@ -331,8 +372,24 @@ impl Parser {
         }
         arena.put_u32("partition/rec-tags", part.rec_tags);
 
+        // The budget also covers field-level conversion failures.
+        if let Some(max) = o.max_rejects {
+            let total = record_rejects + conversion_rejects;
+            if total > max {
+                return Err(ParseError::TooManyRejects {
+                    rejects: total,
+                    max_rejects: max,
+                });
+            }
+        }
+
+        // Invariant: every column above was materialised with exactly
+        // `num_rows` rows, so the table constructor cannot fail.
         let table = Table::new(Schema::new(fields_meta), columns)
             .expect("pipeline produces equal-length columns");
+
+        let dropped_diagnostics = sink.dropped();
+        let diagnostics = sink.into_sorted();
 
         let stats = ParseStats {
             input_bytes: input.len() as u64,
@@ -347,6 +404,7 @@ impl Parser {
             output_bytes: table.buffer_bytes() as u64,
             input_valid,
             total_fields,
+            dropped_diagnostics,
         };
 
         // Everything the caller learns about time and work comes from the
@@ -362,6 +420,7 @@ impl Parser {
             ParseOutput {
                 table,
                 rejected,
+                diagnostics,
                 stats,
                 timings,
                 profiles,
@@ -370,6 +429,23 @@ impl Parser {
             carry_len,
         ))
     }
+}
+
+/// The diagnostic a `Strict` parse reports: the first (lowest record)
+/// entry in the sink, or a synthesised one from the reject bitmap when
+/// every diagnostic was dropped at the cap.
+fn first_diagnostic(sink: DiagSink, rejected: &Bitmap, num_rows: u64) -> RecordDiagnostic {
+    sink.into_sorted().into_iter().next().unwrap_or_else(|| {
+        let record = (0..num_rows)
+            .find(|&r| rejected.get(r as usize))
+            .unwrap_or(0);
+        RecordDiagnostic {
+            record,
+            column: None,
+            byte_offset: None,
+            reason: RejectReason::InvalidSyntax,
+        }
+    })
 }
 
 /// Split the first record off as a header, returning the column names

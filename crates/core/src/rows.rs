@@ -17,7 +17,7 @@
 use crate::chunks::{chunk_ranges, num_chunks};
 use parparaw_parallel::grid::SlotWriter;
 use parparaw_parallel::scan;
-use parparaw_parallel::KernelExecutor;
+use parparaw_parallel::{KernelExecutor, LaunchError};
 
 /// The pruned input plus accounting.
 #[derive(Debug)]
@@ -39,7 +39,7 @@ pub fn prune_rows(
     input: &[u8],
     chunk_size: usize,
     skip: &[u64],
-) -> PrunedRows {
+) -> Result<PrunedRows, LaunchError> {
     debug_assert!(skip.windows(2).all(|w| w[0] < w[1]), "skip must be sorted");
     let n = input.len();
     let n_chunks = num_chunks(n, chunk_size);
@@ -117,7 +117,7 @@ mod tests {
     use parparaw_parallel::Grid;
 
     fn prune(input: &[u8], skip: &[u64]) -> PrunedRows {
-        prune_rows(&KernelExecutor::new(Grid::new(3)), input, 5, skip)
+        prune_rows(&KernelExecutor::new(Grid::new(3)), input, 5, skip).unwrap()
     }
 
     #[test]
@@ -162,10 +162,12 @@ mod tests {
     #[test]
     fn deterministic_across_chunkings_and_workers() {
         let input = b"header\n1,2,3\n# comment row\n4,5,6\n7,8,9";
-        let reference = prune_rows(&KernelExecutor::new(Grid::new(1)), input, 100, &[0, 2]);
+        let reference =
+            prune_rows(&KernelExecutor::new(Grid::new(1)), input, 100, &[0, 2]).unwrap();
         for cs in [1usize, 3, 7, 64] {
             for workers in [1usize, 4] {
-                let out = prune_rows(&KernelExecutor::new(Grid::new(workers)), input, cs, &[0, 2]);
+                let out = prune_rows(&KernelExecutor::new(Grid::new(workers)), input, cs, &[0, 2])
+                    .unwrap();
                 assert_eq!(out.bytes, reference.bytes, "cs={cs} w={workers}");
                 assert_eq!(out.total_rows, reference.total_rows);
             }

@@ -17,13 +17,14 @@
 //!    device can replay the full Fig. 7 dependency DAG over the PCIe link
 //!    model ([`StreamedOutput::streaming_plan`]).
 
+use crate::diag::RecordDiagnostic;
 use crate::error::ParseError;
 use crate::pipeline::Parser;
 use crate::timings::ParseOutput;
 use parparaw_columnar::{Schema, Table};
 use parparaw_device::streaming::PartitionCost;
 use parparaw_device::{CostModel, PcieLink, StreamingPlan};
-use parparaw_parallel::KernelExecutor;
+use parparaw_parallel::{Grid, KernelExecutor, LaunchMode};
 use std::sync::mpsc::sync_channel;
 use std::time::{Duration, Instant};
 
@@ -44,6 +45,15 @@ pub struct PartitionReport {
     pub parse_seconds_simulated: f64,
     /// Records produced by this partition.
     pub records: u64,
+    /// Launch attempts beyond the first while parsing this partition.
+    pub retries: u64,
+    /// Launches that degraded to spawn-per-launch for this partition.
+    pub degraded_launches: u64,
+    /// Faults injected by a configured fault injector.
+    pub injected_faults: u64,
+    /// Whether this partition exhausted its launch retries and was
+    /// re-parsed from scratch on a fresh spawn-per-launch executor.
+    pub relaunched: bool,
 }
 
 /// The result of a streamed parse.
@@ -55,6 +65,13 @@ pub struct StreamedOutput {
     pub partitions: Vec<PartitionReport>,
     /// Total rejected records.
     pub rejected_records: u64,
+    /// Per-record diagnostics across the stream, with record indices and
+    /// byte offsets remapped to the whole input (each partition's cap is
+    /// set by the error policy; overflow lands in
+    /// [`StreamedOutput::dropped_diagnostics`]).
+    pub diagnostics: Vec<RecordDiagnostic>,
+    /// Diagnostics dropped at the per-partition cap.
+    pub dropped_diagnostics: u64,
     /// End-to-end wall-clock time of the threaded executor.
     pub wall: Duration,
 }
@@ -81,6 +98,38 @@ impl StreamedOutput {
     pub fn simulated_end_to_end_seconds(&self, model: &CostModel, link: PcieLink) -> f64 {
         self.streaming_plan(link).simulate(model).total_seconds
     }
+
+    /// Total launch retries across all partitions.
+    pub fn total_retries(&self) -> u64 {
+        self.partitions.iter().map(|p| p.retries).sum()
+    }
+
+    /// Total injected faults across all partitions.
+    pub fn total_injected_faults(&self) -> u64 {
+        self.partitions.iter().map(|p| p.injected_faults).sum()
+    }
+
+    /// Number of partitions that had to be re-parsed on a fresh
+    /// spawn-per-launch executor after exhausting launch retries.
+    pub fn relaunched_partitions(&self) -> u64 {
+        self.partitions.iter().filter(|p| p.relaunched).count() as u64
+    }
+}
+
+/// One-shot recovery parse on a fresh spawn-per-launch executor with *no*
+/// fault injection — the stream's answer to a partition whose launches
+/// exhausted their retries (e.g. a poisoned worker pool). Spawn-per-launch
+/// cannot inherit corrupted pool state, so this isolates the fault to the
+/// failed partition instead of aborting the stream.
+fn relaunch_partition(
+    parser: &Parser,
+    work: &[u8],
+    has_more: bool,
+) -> Result<(ParseOutput, usize), ParseError> {
+    let workers = parser.options().grid.workers();
+    let recovery = KernelExecutor::new(Grid::with_mode(workers, LaunchMode::SpawnPerLaunch))
+        .with_retry(parser.options().retry);
+    parser.parse_with(&recovery, work, has_more)
 }
 
 impl Parser {
@@ -102,7 +151,8 @@ impl Parser {
         // One executor for the whole stream: its worker pool persists
         // across partitions and its arena recycles the partition and work
         // buffers, so steady-state streaming does near-zero allocation.
-        let exec = KernelExecutor::new(self.options().grid.clone());
+        // Retry policy and fault injection carry over from the options.
+        let exec = self.options().build_executor();
         let exec = &exec;
 
         let num_partitions = input.len().div_ceil(partition_size).max(1);
@@ -110,6 +160,8 @@ impl Parser {
         let (tx_out, rx_out) = sync_channel::<(Table, PartitionReport, u64)>(1);
 
         let mut header_names_out: Option<Vec<String>> = None;
+        let mut all_diags: Vec<RecordDiagnostic> = Vec::new();
+        let mut dropped_diags = 0u64;
 
         std::thread::scope(|s| {
             // Stage 1 — "transfer": copy raw partitions into owned buffers
@@ -145,6 +197,12 @@ impl Parser {
             let parse_result = (|| -> Result<(), ParseError> {
                 let mut carry: Vec<u8> = Vec::new();
                 let mut parser: Option<Parser> = None;
+                // Global positions for diagnostic remapping: rows emitted
+                // so far, and the input byte index that `work[0]` maps to
+                // (the carry is always the unprocessed tail, so the work
+                // buffer is contiguous in the original input).
+                let mut rows_so_far = 0u64;
+                let mut consumed = 0u64;
                 // The stream's header is consumed once, up front; every
                 // partition then parses header-free.
                 let mut header_pending = self.options().header;
@@ -169,6 +227,7 @@ impl Parser {
                             HeaderSplit::Complete(names, rest_at) => {
                                 header_names_out = Some(names);
                                 work.drain(..rest_at);
+                                consumed += rest_at as u64;
                                 header_pending = false;
                             }
                             HeaderSplit::NeedMore => {
@@ -185,8 +244,27 @@ impl Parser {
                         None => &base,
                     };
                     let tw = Instant::now();
+                    let mut relaunched = false;
+                    let (mut failed_retries, mut failed_injected) = (0u64, 0u64);
                     let (out, carry_len): (ParseOutput, usize) =
-                        active.parse_with(exec, &work, !is_last)?;
+                        match active.parse_with(exec, &work, !is_last) {
+                            Ok(r) => r,
+                            Err(ParseError::Launch(_)) => {
+                                // The failed run left its launch records
+                                // (including the exhausted attempts) in the
+                                // shared executor's log; drain them here so
+                                // they don't pollute the next partition's
+                                // timings, and keep their retry counts for
+                                // this partition's report.
+                                for r in exec.drain_log() {
+                                    failed_retries += u64::from(r.attempts.saturating_sub(1));
+                                    failed_injected += u64::from(r.injected_faults);
+                                }
+                                relaunched = true;
+                                relaunch_partition(active, &work, !is_last)?
+                            }
+                            Err(e) => return Err(e),
+                        };
                     let parse_wall = tw.elapsed();
                     if parser.is_none()
                         && out.stats.num_records > 0
@@ -197,6 +275,19 @@ impl Parser {
                         parser = Some(Parser::new(self.dfa().clone(), opts));
                     }
 
+                    // Remap this partition's diagnostics into stream-global
+                    // coordinates before the local indices go stale.
+                    for mut d in out.diagnostics {
+                        d.record += rows_so_far;
+                        if let Some(b) = &mut d.byte_offset {
+                            *b += consumed;
+                        }
+                        all_diags.push(d);
+                    }
+                    dropped_diags += out.stats.dropped_diagnostics;
+                    rows_so_far += out.stats.num_records;
+                    consumed += (work.len() - carry_len) as u64;
+
                     carry.extend_from_slice(&work[work.len() - carry_len..]);
                     exec.arena().put_u8("stream/work", work);
                     let report = PartitionReport {
@@ -206,6 +297,10 @@ impl Parser {
                         parse_wall,
                         parse_seconds_simulated: out.simulated.total_seconds,
                         records: out.stats.num_records,
+                        retries: out.timings.retries + failed_retries,
+                        degraded_launches: out.timings.degraded_launches,
+                        injected_faults: out.timings.injected_faults + failed_injected,
+                        relaunched,
                     };
                     let rejected = out.stats.rejected_records;
                     if tx_out.send((out.table, report, rejected)).is_err() {
@@ -218,6 +313,8 @@ impl Parser {
             // Make sure the raw channel is drained/closed before joining.
             drop(rx_raw);
 
+            // Invariant: the collector only receives and accumulates —
+            // no user code runs there, so a panic means a bug here.
             let (tables, reports, rejected) = collector.join().expect("collector panicked");
             parse_result.map(|()| {
                 // Zero-row partitions (fully carried over) may predate the
@@ -235,6 +332,8 @@ impl Parser {
                     table,
                     partitions: reports,
                     rejected_records: rejected,
+                    diagnostics: std::mem::take(&mut all_diags),
+                    dropped_diagnostics: dropped_diags,
                     wall: t0.elapsed(),
                 }
             })
@@ -448,7 +547,7 @@ impl Parser {
         let header_pending = self.options().header;
         let mut opts = self.options().clone();
         opts.header = false;
-        let exec = KernelExecutor::new(opts.grid.clone());
+        let exec = opts.build_executor();
         PartitionIter {
             parser: Parser::new(self.dfa().clone(), opts),
             exec,
@@ -490,7 +589,19 @@ impl Iterator for PartitionIter<'_> {
                 }
             }
 
-            let result = match self.parser.parse_with(&self.exec, &work, !is_last) {
+            let parsed = self
+                .parser
+                .parse_with(&self.exec, &work, !is_last)
+                .or_else(|e| match e {
+                    ParseError::Launch(_) => {
+                        // Discard the failed run's launch records and retry
+                        // once on a fresh spawn-per-launch executor.
+                        let _ = self.exec.drain_log();
+                        relaunch_partition(&self.parser, &work, !is_last)
+                    }
+                    other => Err(other),
+                });
+            let result = match parsed {
                 Ok((out, carry_len)) => {
                     self.carry = work[work.len() - carry_len..].to_vec();
                     Ok(out.table)

@@ -22,11 +22,12 @@
 //! straight into the global arrays — the standard GPU compaction shape.
 
 use crate::chunks::{chunk_ranges, num_chunks};
+use crate::diag::{DiagSink, RecordDiagnostic, RejectReason};
 use crate::meta::MetaPass;
 use crate::options::TaggingMode;
 use parparaw_parallel::grid::SlotWriter;
 use parparaw_parallel::scan;
-use parparaw_parallel::{AtomicBitmap, Bitmap, KernelExecutor};
+use parparaw_parallel::{AtomicBitmap, Bitmap, KernelExecutor, LaunchError};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Static configuration for the tagging pass.
@@ -44,6 +45,9 @@ pub struct TagConfig<'a> {
     pub expected_columns: Option<u32>,
     /// Number of output rows (raw records minus skipped).
     pub num_out_rows: u64,
+    /// When set, every reject also records a [`RecordDiagnostic`]. The
+    /// sink de-duplicates, so a retried launch does not double-report.
+    pub diags: Option<&'a DiagSink>,
 }
 
 impl TagConfig<'_> {
@@ -98,7 +102,7 @@ pub fn tag_symbols(
     chunk_size: usize,
     meta: &MetaPass,
     cfg: &TagConfig<'_>,
-) -> Tagged {
+) -> Result<Tagged, LaunchError> {
     let n = input.len();
     let n_chunks = num_chunks(n, chunk_size);
     let ranges: Vec<std::ops::Range<usize>> = chunk_ranges(n, chunk_size).collect();
@@ -127,6 +131,14 @@ pub fn tag_symbols(
                 // trailing record; there is no output row to attach them to.
                 if let Some(r) = cfg.out_row(rec).filter(|&r| r < cfg.num_out_rows) {
                     rejected.set(r as usize);
+                    if let Some(sink) = cfg.diags {
+                        sink.push(RecordDiagnostic {
+                            record: r,
+                            column: map_col(cfg.col_map, col),
+                            byte_offset: Some(i as u64),
+                            reason: RejectReason::InvalidSyntax,
+                        });
+                    }
                 }
             }
             if is_rec || is_fld {
@@ -155,6 +167,17 @@ pub fn tag_symbols(
                         if let (Some(expect), Some(r)) = (cfg.expected_columns, cfg.out_row(rec)) {
                             if col + 1 != expect {
                                 rejected.set(r as usize);
+                                if let Some(sink) = cfg.diags {
+                                    sink.push(RecordDiagnostic {
+                                        record: r,
+                                        column: None,
+                                        byte_offset: Some(i as u64),
+                                        reason: RejectReason::ColumnCountMismatch {
+                                            expected: expect,
+                                            got: col + 1,
+                                        },
+                                    });
+                                }
                             }
                         }
                     }
@@ -237,16 +260,16 @@ pub fn tag_symbols(
         counters.parallel_ops = 2 * n as u64;
 
         (symbols, col_tags, rec_tags, flags)
-    });
+    })?;
 
-    Tagged {
+    Ok(Tagged {
         symbols,
         col_tags,
         rec_tags,
         delim_flags: want_flags.then_some(flags),
         rejected: rejected.into_bitmap(),
         terminator_clash: clash.load(Ordering::Relaxed),
-    }
+    })
 }
 
 #[inline]
@@ -266,8 +289,10 @@ mod tests {
     fn run_meta(input: &[u8], chunk_size: usize, workers: usize) -> (KernelExecutor, MetaPass) {
         let dfa = rfc4180_paper();
         let exec = KernelExecutor::new(Grid::new(workers));
-        let ctx = determine_contexts_with(&exec, &dfa, input, chunk_size, ScanAlgorithm::Blocked);
-        let meta = identify_columns_and_records(&exec, &dfa, input, chunk_size, &ctx.start_states);
+        let ctx = determine_contexts_with(&exec, &dfa, input, chunk_size, ScanAlgorithm::Blocked)
+            .unwrap();
+        let meta = identify_columns_and_records(&exec, &dfa, input, chunk_size, &ctx.start_states)
+            .unwrap();
         (exec, meta)
     }
 
@@ -287,8 +312,9 @@ mod tests {
             skip_records: &[],
             expected_columns: None,
             num_out_rows: meta.num_records,
+            diags: None,
         };
-        let t = tag_symbols(&exec, input, 10, &meta, &cfg);
+        let t = tag_symbols(&exec, input, 10, &meta, &cfg).unwrap();
         // CSS content: all data symbols, no quotes/delims.
         let s: Vec<u8> = t.symbols.clone();
         assert_eq!(
@@ -315,8 +341,9 @@ mod tests {
             skip_records: &[],
             expected_columns: None,
             num_out_rows: meta.num_records,
+            diags: None,
         };
-        let t = tag_symbols(&exec, input, 5, &meta, &cfg);
+        let t = tag_symbols(&exec, input, 5, &meta, &cfg).unwrap();
         // Column 1's portion (after partitioning) will be
         // Apples\0\0Pears\0; before partitioning symbols interleave, so
         // filter by tag here.
@@ -350,8 +377,9 @@ mod tests {
             skip_records: &[],
             expected_columns: None,
             num_out_rows: meta.num_records,
+            diags: None,
         };
-        let t = tag_symbols(&exec, input, 7, &meta, &cfg);
+        let t = tag_symbols(&exec, input, 7, &meta, &cfg).unwrap();
         let flags = t.delim_flags.as_ref().unwrap();
         let col1: Vec<(u8, bool)> = t
             .symbols
@@ -386,8 +414,9 @@ mod tests {
             skip_records: &[1],
             expected_columns: None,
             num_out_rows: meta.num_records - 1,
+            diags: None,
         };
-        let t = tag_symbols(&exec, input, 4, &meta, &cfg);
+        let t = tag_symbols(&exec, input, 4, &meta, &cfg).unwrap();
         assert_eq!(String::from_utf8_lossy(&t.symbols), "acgi");
         assert_eq!(t.col_tags, vec![0, 1, 0, 1]);
         assert_eq!(t.rec_tags, vec![0, 0, 1, 1]);
@@ -404,8 +433,9 @@ mod tests {
             skip_records: &[],
             expected_columns: Some(2),
             num_out_rows: meta.num_records,
+            diags: None,
         };
-        let t = tag_symbols(&exec, input, 3, &meta, &cfg);
+        let t = tag_symbols(&exec, input, 3, &meta, &cfg).unwrap();
         assert!(!t.rejected.get(0));
         assert!(t.rejected.get(1), "record with 1 column must reject");
         assert!(!t.rejected.get(2));
@@ -422,8 +452,9 @@ mod tests {
             skip_records: &[],
             expected_columns: None,
             num_out_rows: meta.num_records,
+            diags: None,
         };
-        let t = tag_symbols(&exec, input, 3, &meta, &cfg);
+        let t = tag_symbols(&exec, input, 3, &meta, &cfg).unwrap();
         assert!(t.terminator_clash);
     }
 
@@ -438,8 +469,9 @@ mod tests {
             skip_records: &[],
             expected_columns: None,
             num_out_rows: meta.num_records,
+            diags: None,
         };
-        let t = tag_symbols(&exec, input, 5, &meta, &cfg);
+        let t = tag_symbols(&exec, input, 5, &meta, &cfg).unwrap();
         assert_eq!(String::from_utf8_lossy(&t.symbols), "abcd");
     }
 
@@ -455,8 +487,9 @@ mod tests {
                 skip_records: &[],
                 expected_columns: None,
                 num_out_rows: meta.num_records,
+                diags: None,
             };
-            tag_symbols(&exec, input, 6, &meta, &cfg)
+            tag_symbols(&exec, input, 6, &meta, &cfg).unwrap()
         };
         for chunk_size in [1usize, 3, 10, 31, 200] {
             for workers in [1usize, 4] {
@@ -468,8 +501,9 @@ mod tests {
                     skip_records: &[],
                     expected_columns: None,
                     num_out_rows: meta.num_records,
+                    diags: None,
                 };
-                let t = tag_symbols(&exec, input, chunk_size, &meta, &cfg);
+                let t = tag_symbols(&exec, input, chunk_size, &meta, &cfg).unwrap();
                 assert_eq!(t.symbols, reference.symbols, "cs={chunk_size} w={workers}");
                 assert_eq!(t.col_tags, reference.col_tags);
                 assert_eq!(t.rec_tags, reference.rec_tags);

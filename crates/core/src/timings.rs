@@ -19,6 +19,15 @@ pub struct PhaseTimings {
     pub partition: Duration,
     /// CSS indexing, inference, and type conversion.
     pub convert: Duration,
+    /// Launch attempts beyond the first, across all phases (the
+    /// fault-tolerance retries of the executor).
+    pub retries: u64,
+    /// Launches that degraded from the persistent pool to
+    /// spawn-per-launch after repeated failure.
+    pub degraded_launches: u64,
+    /// Faults injected by a configured
+    /// [`FaultInjector`](parparaw_parallel::FaultInjector).
+    pub injected_faults: u64,
 }
 
 impl PhaseTimings {
@@ -35,6 +44,9 @@ impl PhaseTimings {
                 "convert" => t.convert += r.wall,
                 _ => {}
             }
+            t.retries += u64::from(r.attempts.saturating_sub(1));
+            t.degraded_launches += u64::from(r.degraded);
+            t.injected_faults += u64::from(r.injected_faults);
         }
         t
     }
@@ -126,6 +138,8 @@ pub struct ParseStats {
     pub input_valid: bool,
     /// Total number of non-empty fields across all columns.
     pub total_fields: u64,
+    /// Diagnostics dropped because the policy's cap was reached.
+    pub dropped_diagnostics: u64,
 }
 
 /// Render a per-kernel report of work profiles through a cost model —
@@ -166,6 +180,10 @@ pub struct ParseOutput {
     pub table: Table,
     /// Per-row rejection flags (rows stay in the table, as nulls).
     pub rejected: Bitmap,
+    /// Bounded per-record diagnostics explaining each reject, sorted by
+    /// record (cap set by the error policy; overflow counted in
+    /// [`ParseStats::dropped_diagnostics`]).
+    pub diagnostics: Vec<crate::diag::RecordDiagnostic>,
     /// Aggregate statistics.
     pub stats: ParseStats,
     /// Wall-clock phase timings on this host.
@@ -196,6 +214,7 @@ mod tests {
             tag: Duration::from_millis(5),
             partition: Duration::from_millis(8),
             convert: Duration::from_millis(6),
+            ..PhaseTimings::default()
         };
         assert_eq!(t.total(), Duration::from_millis(30));
         assert_eq!(t.phases().len(), 5);

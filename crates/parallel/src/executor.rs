@@ -12,11 +12,171 @@
 //! The executor also owns a [`BufferArena`] of reusable scratch buffers
 //! keyed by launch label, so steady-state streaming (paper §4.4, one
 //! pipeline run per partition) does near-zero allocation.
+//!
+//! # Fault tolerance
+//!
+//! A launch is also the executor's fault boundary. Worker panics are
+//! caught and converted into a structured [`LaunchError`] carrying the
+//! panicking worker id, its chunk range, and the original panic payload
+//! text — they never abort the process. A [`RetryPolicy`] re-runs failed
+//! launches up to a configurable attempt count, degrading from the
+//! persistent pool to a fresh [`LaunchMode::SpawnPerLaunch`] grid after
+//! `degrade_after` failures (a wedged pool thread can't fail the same
+//! launch twice). A deterministic, SplitMix64-seeded [`FaultInjector`]
+//! can fail a configurable fraction of launches *before* the job body
+//! runs, so retried launches are byte-identical to clean ones — that is
+//! what the fault-injection tests lean on. Attempts, degradations and
+//! injected faults are recorded on each [`LaunchRecord`] so phase
+//! timings can expose them.
 
-use crate::grid::Grid;
+use crate::grid::{partition, Grid, LaunchMode};
+use crate::rng::SplitMix64;
+use std::any::Any;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// A launch that failed all its attempts, as a value instead of a panic.
+///
+/// Produced by [`KernelExecutor::launch`] when a worker panicked (the
+/// original payload text is preserved in `message`) or the
+/// [`FaultInjector`] fired, on every attempt the [`RetryPolicy`] allowed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchError {
+    /// Label of the failed launch, e.g. `"parse/pass1"`.
+    pub label: String,
+    /// Total attempts made (including the failing ones).
+    pub attempts: u32,
+    /// Worker id whose job panicked, when known. `None` for injected
+    /// faults and panics on paths that don't track the worker.
+    pub worker: Option<usize>,
+    /// The chunk range assigned to the panicking worker, when known.
+    pub chunk_range: Option<Range<usize>>,
+    /// The panic payload rendered as text (the original `panic!` message
+    /// when it was a string), or a description of the injected fault.
+    pub message: String,
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "launch {:?} failed after {} attempt(s)",
+            self.label, self.attempts
+        )?;
+        if let Some(w) = self.worker {
+            write!(f, " (worker {w}")?;
+            if let Some(r) = &self.chunk_range {
+                write!(f, ", chunks {}..{}", r.start, r.end)?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Render a caught panic payload as text, keeping the original message
+/// when it was a `&str` or `String` (the overwhelmingly common case).
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// How many times [`KernelExecutor::launch`] re-runs a failed launch and
+/// when it abandons the persistent pool for fresh spawned threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per launch (clamped to at least 1). The default
+    /// is 1: fail fast, surface the `LaunchError` to the caller.
+    pub max_attempts: u32,
+    /// Number of failed attempts on the persistent pool after which the
+    /// remaining attempts run on a fallback
+    /// [`LaunchMode::SpawnPerLaunch`] grid (clamped to at least 1).
+    /// Irrelevant when the primary grid already spawns per launch.
+    pub degrade_after: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            degrade_after: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that retries up to `max_attempts` times total, degrading
+    /// to spawn-per-launch after the first failure.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            degrade_after: 1,
+        }
+    }
+}
+
+/// Deterministically fails a fraction of launches for fault-tolerance
+/// testing.
+///
+/// Each launch *attempt* draws one Bernoulli sample from a seeded
+/// [`SplitMix64`]; a firing injector fails the attempt before the job
+/// body runs, so no partial side effects occur and a later retry
+/// produces output byte-identical to a fault-free run. The draw sequence
+/// depends only on the seed and the order of launches, which the
+/// pipeline keeps deterministic.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rate: f64,
+    rng: Mutex<SplitMix64>,
+    injected: AtomicU64,
+}
+
+impl FaultInjector {
+    /// An injector failing `rate` (0.0–1.0) of launch attempts, seeded.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        FaultInjector {
+            rate: rate.clamp(0.0, 1.0),
+            rng: Mutex::new(SplitMix64::new(seed)),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured failure rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Draw the next sample; `true` means "fail this attempt".
+    fn roll(&self) -> bool {
+        // The rng mutex is only held for one draw, but survive poisoning
+        // anyway: the generator state is valid at every point.
+        let fail = self
+            .rng
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .chance(self.rate);
+        if fail {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fail
+    }
+}
 
 /// Work counters a launch job fills in for the cost model; the executor
 /// turns them into a [`LaunchRecord`].
@@ -57,7 +217,7 @@ pub struct LaunchRecord {
     pub label: String,
     /// Number of chunks (virtual threads) the launch covered.
     pub n_chunks: usize,
-    /// Measured wall time of the launch.
+    /// Measured wall time of the launch (total across all attempts).
     pub wall: Duration,
     /// Number of simulated GPU kernel launches.
     pub kernel_launches: u32,
@@ -69,6 +229,16 @@ pub struct LaunchRecord {
     pub parallel_ops: u64,
     /// Inherently serial operations.
     pub serial_ops: u64,
+    /// Attempts this launch took (1 = succeeded first try).
+    pub attempts: u32,
+    /// Whether any attempt ran on the degraded spawn-per-launch grid.
+    pub degraded: bool,
+    /// Faults the [`FaultInjector`] fired against this launch.
+    pub injected_faults: u32,
+    /// Whether the launch ultimately failed (a [`LaunchError`] was
+    /// returned); failed launches still get a log entry so retries and
+    /// faults stay observable.
+    pub failed: bool,
 }
 
 impl LaunchRecord {
@@ -81,21 +251,46 @@ impl LaunchRecord {
 
 /// Executes pipeline launches on a [`Grid`], recording a [`LaunchRecord`]
 /// per launch and pooling scratch buffers in a [`BufferArena`].
+///
+/// Launches return `Result<R, LaunchError>`: worker panics and injected
+/// faults are caught at this boundary and retried per the configured
+/// [`RetryPolicy`] before being surfaced as values (see the module docs).
 #[derive(Debug)]
 pub struct KernelExecutor {
     grid: Grid,
+    /// Degraded-mode grid, created on first use: fresh spawned threads
+    /// per launch, immune to whatever wedged the persistent pool.
+    fallback: OnceLock<Grid>,
+    retry: RetryPolicy,
+    fault: Option<FaultInjector>,
     log: Mutex<Vec<LaunchRecord>>,
     arena: BufferArena,
 }
 
 impl KernelExecutor {
-    /// Create an executor that launches on `grid`.
+    /// Create an executor that launches on `grid` with the default
+    /// (fail-fast) retry policy and no fault injection.
     pub fn new(grid: Grid) -> Self {
         KernelExecutor {
             grid,
+            fallback: OnceLock::new(),
+            retry: RetryPolicy::default(),
+            fault: None,
             log: Mutex::new(Vec::new()),
             arena: BufferArena::default(),
         }
+    }
+
+    /// Set the retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enable deterministic fault injection (builder style).
+    pub fn with_fault_injection(mut self, seed: u64, rate: f64) -> Self {
+        self.fault = Some(FaultInjector::new(seed, rate));
+        self
     }
 
     /// The grid launches run on.
@@ -103,27 +298,151 @@ impl KernelExecutor {
         &self.grid
     }
 
+    /// The retry policy applied to every launch.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The fault injector, when one is configured.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
     /// The scratch-buffer arena shared by all launches.
     pub fn arena(&self) -> &BufferArena {
         &self.arena
     }
 
-    /// Run `job` as one instrumented launch.
+    /// The degraded-mode grid used after `degrade_after` failures.
+    fn fallback_grid(&self) -> &Grid {
+        self.fallback
+            .get_or_init(|| Grid::with_mode(self.grid.workers(), LaunchMode::SpawnPerLaunch))
+    }
+
+    /// Run `job` as one instrumented, fault-isolated launch.
     ///
     /// The job receives the grid plus a [`LaunchCounters`] to fill in;
     /// the executor measures wall time and appends a [`LaunchRecord`]
-    /// labelled `label` covering `n_chunks` chunks to the log.
+    /// labelled `label` covering `n_chunks` chunks to the log. A worker
+    /// panic or injected fault fails the attempt; failed attempts are
+    /// re-run per the [`RetryPolicy`] (the job must therefore be
+    /// idempotent — every pipeline kernel is: each writes its output
+    /// slots from scratch). After exhausting attempts the launch returns
+    /// a [`LaunchError`] instead of panicking.
     pub fn launch<R>(
         &self,
         label: &str,
         n_chunks: usize,
+        job: impl Fn(&Grid, &mut LaunchCounters) -> R,
+    ) -> Result<R, LaunchError> {
+        self.launch_attempts(label, n_chunks, |grid, counters| Some(job(grid, counters)))
+    }
+
+    /// Like [`Self::launch`] for jobs that consume captured state (e.g.
+    /// the partition sort, which moves its input buffers — the CPU
+    /// analogue of an in-place GPU kernel).
+    ///
+    /// Injected faults fire *before* the job runs, so they are still
+    /// retried; a real panic mid-job consumes the closure and fails the
+    /// launch without further attempts.
+    pub fn launch_once<R>(
+        &self,
+        label: &str,
+        n_chunks: usize,
         job: impl FnOnce(&Grid, &mut LaunchCounters) -> R,
-    ) -> R {
-        let mut counters = LaunchCounters::default();
+    ) -> Result<R, LaunchError> {
+        let mut slot = Some(job);
+        self.launch_attempts(label, n_chunks, move |grid, counters| {
+            slot.take().map(|j| j(grid, counters))
+        })
+    }
+
+    /// The attempt loop shared by [`Self::launch`] and
+    /// [`Self::launch_once`]. `job` returns `None` when the underlying
+    /// closure was already consumed by a panicking attempt and cannot be
+    /// re-run.
+    fn launch_attempts<R>(
+        &self,
+        label: &str,
+        n_chunks: usize,
+        mut job: impl FnMut(&Grid, &mut LaunchCounters) -> Option<R>,
+    ) -> Result<R, LaunchError> {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let degrade_after = self.retry.degrade_after.max(1);
         let start = Instant::now();
-        let out = job(&self.grid, &mut counters);
+        let mut attempts = 0u32;
+        let mut injected = 0u32;
+        let mut degraded = false;
+        let mut last_error: Option<LaunchError> = None;
+        let outcome = loop {
+            attempts += 1;
+            let grid = if attempts > degrade_after && self.grid.mode() == LaunchMode::Persistent {
+                degraded = true;
+                self.fallback_grid()
+            } else {
+                &self.grid
+            };
+            if let Some(injector) = &self.fault {
+                if injector.roll() {
+                    injected += 1;
+                    last_error = Some(LaunchError {
+                        label: label.to_string(),
+                        attempts,
+                        worker: None,
+                        chunk_range: None,
+                        message: "injected fault".to_string(),
+                    });
+                    if attempts >= max_attempts {
+                        break None;
+                    }
+                    continue;
+                }
+            }
+            let mut counters = LaunchCounters::default();
+            grid.clear_last_panic();
+            match catch_unwind(AssertUnwindSafe(|| job(grid, &mut counters))) {
+                Ok(Some(out)) => break Some((out, counters)),
+                Ok(None) => {
+                    // A `launch_once` job consumed by an earlier panic:
+                    // this attempt did nothing, don't count it.
+                    attempts -= 1;
+                    break None;
+                }
+                Err(payload) => {
+                    let worker = grid.take_last_panic_worker();
+                    let chunk_range =
+                        worker.and_then(|w| partition(n_chunks, grid.workers()).get(w).cloned());
+                    last_error = Some(LaunchError {
+                        label: label.to_string(),
+                        attempts,
+                        worker,
+                        chunk_range,
+                        message: payload_message(payload.as_ref()),
+                    });
+                    if attempts >= max_attempts {
+                        break None;
+                    }
+                }
+            }
+        };
         let wall = start.elapsed();
-        self.log.lock().unwrap().push(LaunchRecord {
+        let (result, counters) = match outcome {
+            Some((out, counters)) => (Ok(out), counters),
+            None => {
+                let mut err = last_error.unwrap_or_else(|| LaunchError {
+                    label: label.to_string(),
+                    attempts,
+                    worker: None,
+                    chunk_range: None,
+                    message: "launch failed".to_string(),
+                });
+                err.attempts = attempts;
+                (Err(err), LaunchCounters::default())
+            }
+        };
+        // Poison-tolerant: kernel panics are caught before this lock is
+        // taken, and a log of complete records is valid at every point.
+        self.lock_log().push(LaunchRecord {
             label: label.to_string(),
             n_chunks,
             wall,
@@ -132,8 +451,12 @@ impl KernelExecutor {
             bytes_written: counters.bytes_written,
             parallel_ops: counters.parallel_ops,
             serial_ops: counters.serial_ops,
+            attempts,
+            degraded,
+            injected_faults: injected,
+            failed: result.is_err(),
         });
-        out
+        result
     }
 
     /// Take the accumulated launch log, leaving it empty.
@@ -141,12 +464,18 @@ impl KernelExecutor {
     /// Callers that reuse one executor across several pipeline runs (the
     /// streaming path) drain the log per run; the arena keeps its buffers.
     pub fn drain_log(&self) -> Vec<LaunchRecord> {
-        std::mem::take(&mut *self.log.lock().unwrap())
+        std::mem::take(&mut *self.lock_log())
     }
 
     /// Number of records currently in the log.
     pub fn log_len(&self) -> usize {
-        self.log.lock().unwrap().len()
+        self.lock_log().len()
+    }
+
+    fn lock_log(&self) -> std::sync::MutexGuard<'_, Vec<LaunchRecord>> {
+        self.log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -155,7 +484,12 @@ macro_rules! arena_pool {
         /// Take a cleared scratch buffer for `label`, reusing a
         /// previously returned one (and its capacity) when available.
         pub fn $take(&self, label: &str) -> Vec<$ty> {
-            let mut pool = self.$field.lock().unwrap();
+            // Arena locks are never held across user code; tolerate
+            // poisoning so one infrastructure panic cannot wedge reuse.
+            let mut pool = self
+                .$field
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             match pool.get_mut(label).and_then(Vec::pop) {
                 Some(mut buf) => {
                     buf.clear();
@@ -178,7 +512,7 @@ macro_rules! arena_pool {
             }
             self.$field
                 .lock()
-                .unwrap()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .entry(label.to_string())
                 .or_default()
                 .push(buf);
@@ -224,10 +558,12 @@ mod tests {
     #[test]
     fn launch_returns_job_result_and_logs() {
         let exec = KernelExecutor::new(Grid::new(2));
-        let sum = exec.launch("test/sum", 4, |grid, c| {
-            c.bytes_read = 16;
-            grid.map_indexed(4, |i| i as u64).iter().sum::<u64>()
-        });
+        let sum = exec
+            .launch("test/sum", 4, |grid, c| {
+                c.bytes_read = 16;
+                grid.map_indexed(4, |i| i as u64).iter().sum::<u64>()
+            })
+            .unwrap();
         assert_eq!(sum, 6);
         let log = exec.drain_log();
         assert_eq!(log.len(), 1);
@@ -236,6 +572,9 @@ mod tests {
         assert_eq!(log[0].kernel_launches, 1);
         assert_eq!(log[0].bytes_read, 16);
         assert_eq!(log[0].phase(), "test");
+        assert_eq!(log[0].attempts, 1);
+        assert!(!log[0].degraded);
+        assert!(!log[0].failed);
         assert_eq!(exec.log_len(), 0);
     }
 
@@ -246,7 +585,8 @@ mod tests {
         for workers in [1usize, 2, 8] {
             let exec = KernelExecutor::new(Grid::new(workers));
             for label in labels {
-                exec.launch(label, 10, |grid, _| grid.map_indexed(10, |i| i).len());
+                exec.launch(label, 10, |grid, _| grid.map_indexed(10, |i| i).len())
+                    .unwrap();
             }
             logs.push(
                 exec.drain_log()
@@ -257,6 +597,135 @@ mod tests {
         }
         assert_eq!(logs[0], logs[1]);
         assert_eq!(logs[0], logs[2]);
+    }
+
+    #[test]
+    fn worker_panic_becomes_launch_error_with_payload() {
+        let exec = KernelExecutor::new(Grid::new(3));
+        let err = exec
+            .launch("test/panic", 9, |grid, _| {
+                grid.run_partitioned(9, |w, _| {
+                    if w == 1 {
+                        panic!("chunk exploded: w={w}");
+                    }
+                });
+            })
+            .unwrap_err();
+        assert_eq!(err.label, "test/panic");
+        assert_eq!(err.attempts, 1);
+        assert_eq!(err.worker, Some(1));
+        assert_eq!(err.chunk_range, Some(3..6));
+        assert_eq!(err.message, "chunk exploded: w=1");
+        let log = exec.drain_log();
+        assert!(log[0].failed);
+        // The process survives: the executor keeps launching.
+        assert_eq!(exec.launch("test/ok", 1, |_, _| 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_panic() {
+        use std::sync::atomic::AtomicU32;
+        let exec = KernelExecutor::new(Grid::new(2)).with_retry(RetryPolicy::attempts(3));
+        let tries = AtomicU32::new(0);
+        let out = exec
+            .launch("test/flaky", 4, |_, _| {
+                if tries.fetch_add(1, Ordering::Relaxed) < 2 {
+                    panic!("transient");
+                }
+                42u32
+            })
+            .unwrap();
+        assert_eq!(out, 42);
+        let log = exec.drain_log();
+        assert_eq!(log.len(), 1, "one record per launch, not per attempt");
+        assert_eq!(log[0].attempts, 3);
+        assert!(!log[0].failed);
+    }
+
+    #[test]
+    fn repeated_failure_degrades_to_spawn_per_launch() {
+        let exec = KernelExecutor::new(Grid::with_mode(2, LaunchMode::Persistent)).with_retry(
+            RetryPolicy {
+                max_attempts: 2,
+                degrade_after: 1,
+            },
+        );
+        // Fails on the persistent grid, succeeds once degraded — the
+        // job observes which grid it was handed.
+        let out = exec
+            .launch("test/degrade", 2, |grid, _| {
+                if grid.mode() == LaunchMode::Persistent {
+                    panic!("pool is wedged");
+                }
+                "recovered"
+            })
+            .unwrap();
+        assert_eq!(out, "recovered");
+        let log = exec.drain_log();
+        assert!(log[0].degraded);
+        assert_eq!(log[0].attempts, 2);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_retried() {
+        let run = |seed: u64| {
+            let exec = KernelExecutor::new(Grid::new(2))
+                .with_retry(RetryPolicy::attempts(8))
+                .with_fault_injection(seed, 0.5);
+            let mut outs = Vec::new();
+            for i in 0..20u64 {
+                outs.push(exec.launch("test/fi", 1, |_, _| i * 3).unwrap());
+            }
+            let faults: u32 = exec.drain_log().iter().map(|r| r.injected_faults).sum();
+            (outs, faults)
+        };
+        let (a, fa) = run(99);
+        let (b, fb) = run(99);
+        assert_eq!(a, b, "same seed, same outcomes");
+        assert_eq!(fa, fb, "same seed, same fault positions");
+        assert!(fa > 0, "a 50% injector over 20 launches must fire");
+        let want: Vec<u64> = (0..20).map(|i| i * 3).collect();
+        assert_eq!(a, want, "retries make faults invisible in the output");
+    }
+
+    #[test]
+    fn injector_rate_one_exhausts_attempts() {
+        let exec = KernelExecutor::new(Grid::new(2))
+            .with_retry(RetryPolicy::attempts(3))
+            .with_fault_injection(1, 1.0);
+        let err = exec.launch("test/doomed", 4, |_, _| ()).unwrap_err();
+        assert_eq!(err.attempts, 3);
+        assert_eq!(err.message, "injected fault");
+        assert_eq!(err.worker, None);
+        let log = exec.drain_log();
+        assert!(log[0].failed);
+        assert_eq!(log[0].injected_faults, 3);
+    }
+
+    #[test]
+    fn launch_once_retries_injected_faults_but_not_panics() {
+        // Injected faults fire before the job runs, so even a FnOnce job
+        // survives them.
+        let exec = KernelExecutor::new(Grid::new(1))
+            .with_retry(RetryPolicy::attempts(10))
+            .with_fault_injection(7, 0.5);
+        let moved = vec![1u32, 2, 3];
+        let got = exec
+            .launch_once("test/once", 1, move |_, _| moved.into_iter().sum::<u32>())
+            .unwrap();
+        assert_eq!(got, 6);
+
+        // A real panic consumes the closure: no second attempt happens.
+        let exec = KernelExecutor::new(Grid::new(1)).with_retry(RetryPolicy::attempts(5));
+        let moved = vec![9u32];
+        let err = exec
+            .launch_once("test/once-panic", 1, move |_, _| {
+                let _ = moved;
+                panic!("consumed");
+            })
+            .unwrap_err();
+        assert_eq!(err.attempts, 1, "FnOnce job cannot be re-run after a panic");
+        assert_eq!(err.message, "consumed");
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //! legacy behaviour of spawning fresh OS threads on every launch is kept
 //! behind [`LaunchMode::SpawnPerLaunch`] as a measurable baseline.
 
-use crate::pool::WorkerPool;
+use crate::pool::{WorkerPool, NO_PANIC};
+use std::any::Any;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -43,6 +45,12 @@ pub struct Grid {
     workers: usize,
     mode: LaunchMode,
     pool: Arc<OnceLock<WorkerPool>>,
+    /// Worker id of the most recent panicking launch participant on the
+    /// spawn/inline paths (`NO_PANIC` when none); the persistent-pool
+    /// path records into the pool's own slot. Shared across clones,
+    /// best-effort under concurrency — a diagnostic, not a correctness
+    /// channel.
+    last_panic: Arc<AtomicUsize>,
 }
 
 impl std::fmt::Debug for Grid {
@@ -55,10 +63,10 @@ impl std::fmt::Debug for Grid {
 }
 
 impl Grid {
-    /// Create a grid with `workers` OS threads backed by a persistent
-    /// pool. `workers` is clamped to at least 1.
+    /// Create a grid with `workers` OS threads using the process-wide
+    /// [`default_launch_mode`]. `workers` is clamped to at least 1.
     pub fn new(workers: usize) -> Self {
-        Grid::with_mode(workers, LaunchMode::Persistent)
+        Grid::with_mode(workers, default_launch_mode())
     }
 
     /// Create a grid with an explicit [`LaunchMode`].
@@ -67,6 +75,7 @@ impl Grid {
             workers: workers.max(1),
             mode,
             pool: Arc::new(OnceLock::new()),
+            last_panic: Arc::new(AtomicUsize::new(NO_PANIC)),
         }
     }
 
@@ -86,6 +95,32 @@ impl Grid {
     /// The launch mode this grid uses.
     pub fn mode(&self) -> LaunchMode {
         self.mode
+    }
+
+    /// Worker id of the most recent panicking launch participant,
+    /// clearing the slot. Best-effort diagnostic: concurrent launches on
+    /// clones of this grid can overwrite each other's entry.
+    pub fn take_last_panic_worker(&self) -> Option<usize> {
+        let own = self.last_panic.swap(NO_PANIC, Ordering::Relaxed);
+        if own != NO_PANIC {
+            return Some(own);
+        }
+        self.pool.get().and_then(WorkerPool::take_last_panic_worker)
+    }
+
+    /// Forget any recorded panicking-worker id (called by the executor
+    /// before each launch attempt so stale entries don't leak into a
+    /// later failure's diagnostics).
+    pub fn clear_last_panic(&self) {
+        self.last_panic.store(NO_PANIC, Ordering::Relaxed);
+        if let Some(pool) = self.pool.get() {
+            let _ = pool.take_last_panic_worker();
+        }
+    }
+
+    /// Record `worker` as the most recent panicking participant.
+    fn note_panic(&self, worker: usize) {
+        self.last_panic.store(worker, Ordering::Relaxed);
     }
 
     /// The shared persistent pool, created on first use.
@@ -111,7 +146,10 @@ impl Grid {
         let parts = self.partition(n);
         if self.workers == 1 || parts.len() <= 1 {
             for (w, r) in parts.into_iter().enumerate() {
-                f(w, r);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(w, r))) {
+                    self.note_panic(w);
+                    resume_unwind(payload);
+                }
             }
             return;
         }
@@ -122,14 +160,36 @@ impl Grid {
                     .dispatch(parts.len(), &|w| f(w, parts[w].clone()));
             }
             LaunchMode::SpawnPerLaunch => {
-                std::thread::scope(|s| {
-                    for (w, r) in parts.into_iter().enumerate() {
-                        let f = &f;
-                        s.spawn(move || f(w, r));
-                    }
-                });
+                self.spawn_all(parts.len(), |w| f(w, parts[w].clone()));
             }
         }
+    }
+
+    /// Spawn-per-launch dispatch: one fresh scoped thread per worker id.
+    ///
+    /// Threads are joined explicitly (rather than letting the scope do
+    /// it) so the *first* panic's original payload is re-raised on the
+    /// caller and the panicking worker id is recorded — `thread::scope`
+    /// would otherwise swallow the payload behind its own generic panic.
+    fn spawn_all(&self, parts: usize, f: impl Fn(usize) + Sync) {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..parts)
+                .map(|w| {
+                    let f = &f;
+                    (w, s.spawn(move || f(w)))
+                })
+                .collect();
+            let mut first: Option<(usize, Box<dyn Any + Send>)> = None;
+            for (w, h) in handles {
+                if let Err(payload) = h.join() {
+                    first.get_or_insert((w, payload));
+                }
+            }
+            if let Some((w, payload)) = first {
+                self.note_panic(w);
+                resume_unwind(payload);
+            }
+        });
     }
 
     /// Run `f(i)` for every `i in 0..n`, dynamically load balanced.
@@ -143,8 +203,13 @@ impl Grid {
     {
         let block = block.max(1);
         if self.workers == 1 {
-            for i in 0..n {
-                f(i);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                for i in 0..n {
+                    f(i);
+                }
+            })) {
+                self.note_panic(0);
+                resume_unwind(payload);
             }
             return;
         }
@@ -161,14 +226,7 @@ impl Grid {
         };
         match self.mode {
             LaunchMode::Persistent => self.pool().dispatch(self.workers, &drain),
-            LaunchMode::SpawnPerLaunch => {
-                std::thread::scope(|s| {
-                    for w in 0..self.workers {
-                        let drain = &drain;
-                        s.spawn(move || drain(w));
-                    }
-                });
-            }
+            LaunchMode::SpawnPerLaunch => self.spawn_all(self.workers, drain),
         }
     }
 
@@ -198,6 +256,28 @@ impl Grid {
 impl Default for Grid {
     fn default() -> Self {
         Grid::auto()
+    }
+}
+
+/// The process-wide default [`LaunchMode`], read once from the
+/// `PARPARAW_LAUNCH_MODE` environment variable (`spawn` /
+/// `spawn-per-launch` select [`LaunchMode::SpawnPerLaunch`]; anything
+/// else, including unset, selects [`LaunchMode::Persistent`]).
+///
+/// CI uses this to run the whole test suite against the spawn-per-launch
+/// fallback path without code changes.
+pub fn default_launch_mode() -> LaunchMode {
+    static MODE: OnceLock<LaunchMode> = OnceLock::new();
+    *MODE.get_or_init(|| mode_from_env(std::env::var("PARPARAW_LAUNCH_MODE").ok().as_deref()))
+}
+
+/// Pure mapping from the `PARPARAW_LAUNCH_MODE` value to a launch mode.
+fn mode_from_env(value: Option<&str>) -> LaunchMode {
+    match value {
+        Some("spawn") | Some("spawn-per-launch") | Some("spawn_per_launch") => {
+            LaunchMode::SpawnPerLaunch
+        }
+        _ => LaunchMode::Persistent,
     }
 }
 
@@ -366,6 +446,50 @@ mod tests {
         grid.run_partitioned(10, |_, _| {});
         clone.run_partitioned(10, |_, _| {});
         assert!(Arc::ptr_eq(&grid.pool, &clone.pool));
+    }
+
+    #[test]
+    fn spawn_mode_preserves_panic_payload_and_worker() {
+        let grid = Grid::with_mode(4, LaunchMode::SpawnPerLaunch);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            grid.run_partitioned(100, |w, _| {
+                if w == 2 {
+                    panic!("spawn worker {w} failed");
+                }
+            });
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("payload is the original formatted message");
+        assert_eq!(msg, "spawn worker 2 failed");
+        assert_eq!(grid.take_last_panic_worker(), Some(2));
+        assert_eq!(grid.take_last_panic_worker(), None);
+    }
+
+    #[test]
+    fn persistent_mode_reports_panicking_worker() {
+        let grid = Grid::with_mode(3, LaunchMode::Persistent);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            grid.run_partitioned(99, |w, _| {
+                if w == 1 {
+                    panic!("pool worker down");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(grid.take_last_panic_worker(), Some(1));
+    }
+
+    #[test]
+    fn env_mode_parsing() {
+        assert_eq!(mode_from_env(None), LaunchMode::Persistent);
+        assert_eq!(mode_from_env(Some("persistent")), LaunchMode::Persistent);
+        assert_eq!(mode_from_env(Some("spawn")), LaunchMode::SpawnPerLaunch);
+        assert_eq!(
+            mode_from_env(Some("spawn-per-launch")),
+            LaunchMode::SpawnPerLaunch
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ pub mod rng;
 pub mod scan;
 
 pub use bitmap::{AtomicBitmap, Bitmap};
-pub use executor::{BufferArena, KernelExecutor, LaunchCounters, LaunchRecord};
-pub use grid::{Grid, LaunchMode};
+pub use executor::{
+    BufferArena, FaultInjector, KernelExecutor, LaunchCounters, LaunchError, LaunchRecord,
+    RetryPolicy,
+};
+pub use grid::{default_launch_mode, Grid, LaunchMode};
 pub use rng::SplitMix64;
 pub use scan::ScanOp;

@@ -141,7 +141,8 @@ fn scan_lookback<O: ScanOp>(
                 if pred == 0 {
                     // Tile 0 always publishes P, so we cannot get here with
                     // status A; defensive.
-                    exclusive_prefix = running.unwrap();
+                    exclusive_prefix =
+                        running.expect("walked at least one A before reaching tile 0");
                     break;
                 }
                 pred -= 1;

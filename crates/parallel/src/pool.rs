@@ -27,10 +27,15 @@
 //! both avoids deadlock and matches the GPU model where a thread block
 //! cannot launch a sub-grid on its own resources.
 
+use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Sentinel for "no worker panicked since the last query".
+pub(crate) const NO_PANIC: usize = usize::MAX;
 
 /// The shape every pooled job takes: a function of the worker id.
 type Job = dyn Fn(usize) + Sync;
@@ -53,8 +58,10 @@ struct Control {
     slot: Option<JobSlot>,
     /// Pool workers that still have to finish the current epoch's job.
     remaining: usize,
-    /// Set when any pool worker's job panicked this epoch.
-    panicked: bool,
+    /// First pool worker that panicked this epoch, with its original
+    /// panic payload (preserved so the caller sees the real message,
+    /// not a generic "worker panicked").
+    panic: Option<(usize, Box<dyn Any + Send>)>,
     shutdown: bool,
 }
 
@@ -82,6 +89,10 @@ pub struct WorkerPool {
     /// `Sync`) so concurrent `dispatch` calls must queue here. Held for
     /// the whole publish → run → wait sequence.
     dispatch_lock: Mutex<()>,
+    /// Worker id of the most recent panicking launch participant
+    /// (`NO_PANIC` when none) — a best-effort diagnostic consumed by the
+    /// executor to build `LaunchError`s.
+    last_panic: AtomicUsize,
 }
 
 impl WorkerPool {
@@ -94,7 +105,7 @@ impl WorkerPool {
                 epoch: 0,
                 slot: None,
                 remaining: 0,
-                panicked: false,
+                panic: None,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -106,6 +117,9 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("parparaw-pool-{id}"))
                     .spawn(move || worker_loop(id, &shared))
+                    // Thread spawn only fails on resource exhaustion at
+                    // pool construction; there is no partially-built pool
+                    // to recover, so aborting here is deliberate.
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -114,7 +128,16 @@ impl WorkerPool {
             handles,
             width,
             dispatch_lock: Mutex::new(()),
+            last_panic: AtomicUsize::new(NO_PANIC),
         }
+    }
+
+    /// Worker id of the most recent panicking participant, clearing the
+    /// slot. Best effort: concurrent launches can overwrite each other,
+    /// which only degrades a diagnostic, never correctness.
+    pub fn take_last_panic_worker(&self) -> Option<usize> {
+        let w = self.last_panic.swap(NO_PANIC, Ordering::Relaxed);
+        (w != NO_PANIC).then_some(w)
     }
 
     /// Number of worker ids this pool can run concurrently (including the
@@ -127,7 +150,10 @@ impl WorkerPool {
     ///
     /// The calling thread runs `job(0)` itself; pool workers `1..parts`
     /// run the rest concurrently. Blocks until every participant is done.
-    /// Panics propagate to the caller (the caller's own payload wins if
+    /// Panics propagate to the caller *with the original payload* — a
+    /// worker panic is re-raised as-is on the dispatching thread, and the
+    /// panicking worker's id is retained for
+    /// [`Self::take_last_panic_worker`] (the caller's own payload wins if
     /// both it and a pool worker panicked). `parts` must not exceed
     /// [`Self::width`]. Nested calls from inside a job run all parts
     /// inline, sequentially, on the calling worker. Concurrent calls from
@@ -160,11 +186,11 @@ impl WorkerPool {
         let erased: *const Job =
             unsafe { std::mem::transmute(job as *const (dyn Fn(usize) + Sync + 'a)) };
         {
-            let mut c = self.shared.control.lock().unwrap();
+            let mut c = lock_control(&self.shared);
             c.epoch += 1;
             c.slot = Some(JobSlot { job: erased, parts });
             c.remaining = parts - 1;
-            c.panicked = false;
+            c.panic = None;
         }
         self.shared.work_cv.notify_all();
 
@@ -172,19 +198,29 @@ impl WorkerPool {
         let caller = catch_unwind(AssertUnwindSafe(|| job(0)));
         IN_LAUNCH.with(|f| f.set(false));
 
-        let mut c = self.shared.control.lock().unwrap();
+        let mut c = lock_control(&self.shared);
         while c.remaining > 0 {
-            c = self.shared.done_cv.wait(c).unwrap();
+            c = self
+                .shared
+                .done_cv
+                .wait(c)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         c.slot = None;
-        let worker_panicked = c.panicked;
+        let worker_panic = c.panic.take();
         drop(c);
         drop(guard);
 
-        match caller {
-            Err(payload) => resume_unwind(payload),
-            Ok(()) if worker_panicked => panic!("grid worker panicked"),
-            Ok(()) => {}
+        match (caller, worker_panic) {
+            (Err(payload), _) => {
+                self.last_panic.store(0, Ordering::Relaxed);
+                resume_unwind(payload)
+            }
+            (Ok(()), Some((id, payload))) => {
+                self.last_panic.store(id, Ordering::Relaxed);
+                resume_unwind(payload)
+            }
+            (Ok(()), None) => {}
         }
     }
 }
@@ -192,7 +228,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut c = self.shared.control.lock().unwrap();
+            let mut c = lock_control(&self.shared);
             c.shutdown = true;
         }
         self.shared.work_cv.notify_all();
@@ -210,11 +246,22 @@ impl std::fmt::Debug for WorkerPool {
     }
 }
 
+/// Lock the pool's control state, surviving poisoning. Job panics are
+/// caught *before* any control lock is taken, so a poisoned mutex can
+/// only mean an infrastructure panic — and the state it guards is
+/// re-initialised at every dispatch, so recovery is always safe.
+fn lock_control(shared: &Shared) -> std::sync::MutexGuard<'_, Control> {
+    shared
+        .control
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn worker_loop(id: usize, shared: &Shared) {
     let mut last_epoch = 0u64;
     loop {
         let task = {
-            let mut c = shared.control.lock().unwrap();
+            let mut c = lock_control(shared);
             loop {
                 if c.shutdown {
                     return;
@@ -226,7 +273,10 @@ fn worker_loop(id: usize, shared: &Shared) {
                         .as_ref()
                         .and_then(|s| (id < s.parts).then_some(s.job));
                 }
-                c = shared.work_cv.wait(c).unwrap();
+                c = shared
+                    .work_cv
+                    .wait(c)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         let Some(job) = task else { continue };
@@ -236,9 +286,13 @@ fn worker_loop(id: usize, shared: &Shared) {
         // returns (or unwinds) below.
         let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job)(id) }));
         IN_LAUNCH.with(|f| f.set(false));
-        let mut c = shared.control.lock().unwrap();
-        if result.is_err() {
-            c.panicked = true;
+        let mut c = lock_control(shared);
+        if let Err(payload) = result {
+            // Keep the first panic's payload; later ones are dropped
+            // (only one can be re-raised on the dispatcher anyway).
+            if c.panic.is_none() {
+                c.panic = Some((id, payload));
+            }
         }
         c.remaining -= 1;
         if c.remaining == 0 {
@@ -347,6 +401,27 @@ mod tests {
             ok.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn worker_panic_payload_is_preserved() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(2, &|w| {
+                if w == 1 {
+                    panic!("original message {w}");
+                }
+            });
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload should be a string");
+        assert_eq!(msg, "original message 1");
+        assert_eq!(pool.take_last_panic_worker(), Some(1));
+        assert_eq!(pool.take_last_panic_worker(), None, "slot is cleared");
     }
 
     #[test]

@@ -148,6 +148,8 @@ pub fn exclusive_scan_total<O: ScanOp>(
         return (Vec::new(), op.identity());
     }
     let out = scan_blocked(grid, items, op, true);
+    // Invariant: `items` is non-empty (checked above) and the scan output
+    // has the same length, so both `last()` calls succeed.
     let total = op.combine(out.last().unwrap(), items.last().unwrap());
     (out, total)
 }

@@ -1,0 +1,243 @@
+//! Fault tolerance end to end: injected launch faults must be invisible
+//! in the parsed output (monolithic and streamed), worker panics must
+//! surface as typed `LaunchError`s with the original payload, and the
+//! error policies must turn reject bits into actionable diagnostics.
+
+use parparaw::parallel::{Grid as PGrid, KernelExecutor, RetryPolicy};
+use parparaw::prelude::*;
+
+fn base_opts() -> ParserOptions {
+    ParserOptions {
+        grid: Grid::new(3),
+        ..ParserOptions::default()
+    }
+    .chunk_size(23)
+}
+
+fn faulty_opts(seed: u64) -> ParserOptions {
+    let mut o = base_opts().retry(RetryPolicy::attempts(8));
+    o.fault_injection = Some(FaultInjection { seed, rate: 0.2 });
+    o
+}
+
+fn make_input(rows: usize) -> Vec<u8> {
+    let mut s = String::new();
+    for i in 0..rows {
+        s.push_str(&format!("{i},\"field, {i}\",{}.25\n", i % 50));
+    }
+    s.into_bytes()
+}
+
+#[test]
+fn injected_faults_are_invisible_in_parse_output() {
+    let input = make_input(300);
+    let dfa = rfc4180(&CsvDialect::default());
+    let clean = Parser::new(dfa.clone(), base_opts()).parse(&input).unwrap();
+    let faulty = Parser::new(dfa, faulty_opts(0xF0_0001))
+        .parse(&input)
+        .unwrap();
+    assert_eq!(faulty.table, clean.table, "retries must not change output");
+    assert_eq!(faulty.rejected, clean.rejected);
+    assert!(
+        faulty.timings.injected_faults > 0,
+        "a 20% injector across a whole pipeline must fire"
+    );
+    assert!(
+        faulty.timings.retries >= faulty.timings.injected_faults,
+        "every injected fault costs at least one retry"
+    );
+    assert_eq!(clean.timings.injected_faults, 0);
+}
+
+#[test]
+fn injected_faults_are_invisible_in_parse_stream() {
+    let input = make_input(400);
+    let dfa = rfc4180(&CsvDialect::default());
+    let clean = Parser::new(dfa.clone(), base_opts())
+        .parse_stream(&input, 512)
+        .unwrap();
+    let faulty = Parser::new(dfa, faulty_opts(0xF0_0002))
+        .parse_stream(&input, 512)
+        .unwrap();
+    assert_eq!(faulty.table, clean.table, "retries must not change output");
+    assert!(faulty.total_injected_faults() > 0);
+    assert!(faulty.total_retries() >= faulty.total_injected_faults());
+    // Per-partition reports carry the fault accounting.
+    assert_eq!(
+        faulty.partitions.iter().map(|p| p.retries).sum::<u64>(),
+        faulty.total_retries()
+    );
+}
+
+#[test]
+fn partition_iterator_survives_injected_faults() {
+    let input = make_input(200);
+    let p = Parser::new(rfc4180(&CsvDialect::default()), faulty_opts(0xF0_0003));
+    let batches: Vec<Table> = p.partitions(&input, 256).collect::<Result<_, _>>().unwrap();
+    let total: usize = batches.iter().map(|b| b.num_rows()).sum();
+    assert_eq!(total, 200);
+}
+
+#[test]
+fn worker_panic_surfaces_as_launch_error_with_payload() {
+    let exec = KernelExecutor::new(PGrid::new(3));
+    let err = exec
+        .launch("parse/pass1", 9, |grid, _| {
+            grid.run_partitioned(9, |w, _| {
+                if w == 2 {
+                    panic!("simulated kernel fault in worker {w}");
+                }
+            });
+        })
+        .unwrap_err();
+    assert_eq!(err.label, "parse/pass1");
+    assert_eq!(err.worker, Some(2));
+    assert_eq!(err.message, "simulated kernel fault in worker 2");
+    assert!(err.chunk_range.is_some());
+    // The error is also a ParseError for pipeline callers.
+    let pe: ParseError = err.into();
+    assert!(pe.to_string().contains("kernel launch failed"));
+}
+
+#[test]
+fn strict_policy_aborts_on_malformed_record() {
+    // Record 1 has two columns instead of three.
+    let input = b"1,2,3\n4,5\n6,7,8\n";
+    let mut o = base_opts().error_policy(ErrorPolicy::Strict);
+    o.validate_column_count = true;
+    let err = Parser::new(rfc4180(&CsvDialect::default()), o)
+        .parse(input)
+        .unwrap_err();
+    match err {
+        ParseError::MalformedRecord(d) => {
+            assert_eq!(d.record, 1);
+            assert!(matches!(
+                d.reason,
+                RejectReason::ColumnCountMismatch {
+                    expected: 3,
+                    got: 2
+                }
+            ));
+        }
+        other => panic!("expected MalformedRecord, got {other}"),
+    }
+}
+
+#[test]
+fn permissive_policy_collects_diagnostics() {
+    let input = b"1,2,3\n4,5\n6,7,8\n9\n10,11,12\n";
+    let mut o = base_opts().error_policy(ErrorPolicy::Permissive {
+        max_diagnostics: 64,
+    });
+    o.validate_column_count = true;
+    let out = Parser::new(rfc4180(&CsvDialect::default()), o)
+        .parse(input)
+        .unwrap();
+    assert_eq!(out.stats.rejected_records, 2);
+    let records: Vec<u64> = out.diagnostics.iter().map(|d| d.record).collect();
+    assert_eq!(records, vec![1, 3], "diagnostics sorted by record");
+    assert_eq!(out.stats.dropped_diagnostics, 0);
+    // The rejected rows stay in the table as nulls.
+    assert_eq!(out.table.num_rows(), 5);
+}
+
+#[test]
+fn diagnostic_cap_drops_and_counts_overflow() {
+    let mut bad = String::new();
+    for i in 0..20 {
+        bad.push_str(&format!("{i},x\n")); // 2 cols, expected 3
+    }
+    let input = format!("a,b,c\n{bad}");
+    let mut o = base_opts().error_policy(ErrorPolicy::Permissive { max_diagnostics: 4 });
+    o.validate_column_count = true;
+    let out = Parser::new(rfc4180(&CsvDialect::default()), o)
+        .parse(input.as_bytes())
+        .unwrap();
+    assert_eq!(out.stats.rejected_records, 20);
+    assert!(out.diagnostics.len() <= 4);
+    assert!(out.stats.dropped_diagnostics > 0);
+}
+
+#[test]
+fn max_rejects_budget_aborts() {
+    let input = b"1,2,3\n4,5\n6\n7,8\n9,10,11\n";
+    let mut o = base_opts();
+    o.validate_column_count = true;
+    o.max_rejects = Some(1);
+    let err = Parser::new(rfc4180(&CsvDialect::default()), o)
+        .parse(input)
+        .unwrap_err();
+    match err {
+        ParseError::TooManyRejects {
+            rejects,
+            max_rejects,
+        } => {
+            assert_eq!(rejects, 3);
+            assert_eq!(max_rejects, 1);
+        }
+        other => panic!("expected TooManyRejects, got {other}"),
+    }
+}
+
+#[test]
+fn conversion_failures_produce_diagnostics() {
+    let schema = Schema::new(vec![
+        Field::new("id", DataType::Int64),
+        Field::new("v", DataType::Float64),
+    ]);
+    let input = b"1,2.5\nnope,3.5\n3,4.5\n";
+    let mut o = base_opts();
+    o.schema = Some(schema);
+    let out = Parser::new(rfc4180(&CsvDialect::default()), o)
+        .parse(input)
+        .unwrap();
+    assert_eq!(out.stats.conversion_rejects, 1);
+    let d = out
+        .diagnostics
+        .iter()
+        .find(|d| matches!(d.reason, RejectReason::ConversionFailed { .. }))
+        .expect("conversion failure diagnostic");
+    assert_eq!(d.record, 1);
+    assert_eq!(d.column, Some(0));
+    assert_eq!(out.table.value(1, 0), parparaw::columnar::Value::Null);
+}
+
+#[test]
+fn streaming_diagnostics_use_global_record_indices() {
+    // 60 good rows, then a short record near the end; with 256-byte
+    // partitions the bad record lands several partitions in.
+    let mut s = String::new();
+    for i in 0..60 {
+        s.push_str(&format!("{i},{i},{i}\n"));
+    }
+    s.push_str("61,61\n");
+    for i in 62..70 {
+        s.push_str(&format!("{i},{i},{i}\n"));
+    }
+    let mut o = base_opts();
+    o.validate_column_count = true;
+    let streamed = Parser::new(rfc4180(&CsvDialect::default()), o)
+        .parse_stream(s.as_bytes(), 256)
+        .unwrap();
+    assert_eq!(streamed.rejected_records, 1);
+    assert_eq!(streamed.diagnostics.len(), 1);
+    assert_eq!(
+        streamed.diagnostics[0].record, 60,
+        "record index must be stream-global, not partition-local"
+    );
+}
+
+#[test]
+fn strict_policy_streams() {
+    let mut s = String::new();
+    for i in 0..50 {
+        s.push_str(&format!("{i},{i}\n"));
+    }
+    s.push_str("bad\n");
+    let mut o = base_opts().error_policy(ErrorPolicy::Strict);
+    o.validate_column_count = true;
+    let err = Parser::new(rfc4180(&CsvDialect::default()), o)
+        .parse_stream(s.as_bytes(), 128)
+        .unwrap_err();
+    assert!(matches!(err, ParseError::MalformedRecord(_)));
+}
