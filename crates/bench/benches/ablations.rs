@@ -1,22 +1,26 @@
 //! Ablation benchmarks for the design choices called out in DESIGN.md:
 //! scan variants, SWAR vs naive symbol matching, MFIRA vs plain arrays,
-//! radix digit count, and pass-1 chunk-size sensitivity.
+//! radix digit count, pass-1 chunk-size sensitivity, the pass-1 fast
+//! lane (table-driven + collapse, ± byte-pair table), and arena-backed
+//! radix scratch.
 //!
 //! Plain `main()` with `std` timing — run with
-//! `cargo bench -p parparaw-bench --bench ablations`.
+//! `cargo bench -p parparaw-bench --bench ablations`. Pass `--json` to
+//! also write `BENCH_ablations.json` to the working directory.
 
-use parparaw_bench::{bench_ms, report};
+use parparaw_bench::{arg_flag, bench_ms, launch_mode_name, report};
 use parparaw_dfa::csv::rfc4180_paper;
-use parparaw_dfa::{Mfira, SwarMatcher};
+use parparaw_dfa::{Mfira, PairTable, SwarMatcher};
+use parparaw_parallel::executor::BufferArena;
 use parparaw_parallel::lookback::exclusive_scan_lookback;
 use parparaw_parallel::scan::{exclusive_scan, exclusive_scan_seq, AddOp};
 use parparaw_parallel::Grid;
 use std::hint::black_box;
 
 fn main() {
-    let mut rows = Vec::new();
+    let mut rows: Vec<(String, String, f64)> = Vec::new();
     let mut push = |group: &str, name: &str, ms: f64| {
-        rows.push(vec![group.to_string(), name.to_string(), report::ms(ms)]);
+        rows.push((group.to_string(), name.to_string(), ms));
     };
 
     // Scan variants.
@@ -115,6 +119,39 @@ fn main() {
         );
     }
 
+    // Pass-1 fast lane: step-wise reference vs per-byte table + collapse,
+    // with and without the byte-pair table (the `pass1_pair_table` knob).
+    let yelp = parparaw_workloads::yelp::generate(4 << 20, 0xE11A5);
+    let pt = PairTable::build(&dfa);
+    let cs = 31usize;
+    push(
+        "pass1_kernel",
+        "stepwise",
+        bench_ms(5, || {
+            yelp.chunks(cs)
+                .map(|c| dfa.transition_vector(c).packed())
+                .fold(0u64, u64::wrapping_add)
+        }),
+    );
+    push(
+        "pass1_kernel",
+        "fast_lane",
+        bench_ms(5, || {
+            yelp.chunks(cs)
+                .map(|c| dfa.transition_vector_fast(c, None).0.packed())
+                .fold(0u64, u64::wrapping_add)
+        }),
+    );
+    push(
+        "pass1_kernel",
+        "fast_lane_pair_table",
+        bench_ms(5, || {
+            yelp.chunks(cs)
+                .map(|c| dfa.transition_vector_fast(c, Some(&pt)).0.packed())
+                .fold(0u64, u64::wrapping_add)
+        }),
+    );
+
     // Radix digit count: one pass vs four.
     let grid3 = Grid::new(2);
     let n = 1_000_000usize;
@@ -141,6 +178,57 @@ fn main() {
         }),
     );
 
+    // Radix scratch: fresh allocations per sort vs arena-pooled buffers
+    // (what the pipeline's partition launch uses).
+    let arena = BufferArena::default();
+    push(
+        "radix_scratch",
+        "fresh_alloc",
+        bench_ms(5, || {
+            let mut k = keys.clone();
+            let mut v = vals.clone();
+            parparaw_parallel::radix::sort_pairs_by_key(&grid3, &mut k, &mut v, 16, 4);
+            k[0]
+        }),
+    );
+    push(
+        "radix_scratch",
+        "arena_pooled",
+        bench_ms(5, || {
+            let mut k = keys.clone();
+            let mut v = vals.clone();
+            parparaw_parallel::radix::sort_pairs_by_key_in(&grid3, &arena, &mut k, &mut v, 16, 4);
+            k[0]
+        }),
+    );
+
     println!("ablations");
-    println!("{}", report::table(&["group", "variant", "ms"], &rows));
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(g, n, ms)| vec![g.clone(), n.clone(), report::ms(*ms)])
+        .collect();
+    println!(
+        "{}",
+        report::table(&["group", "variant", "ms"], &table_rows)
+    );
+
+    if arg_flag("--json") {
+        let mut json = String::from("{\n  \"harness\": \"ablations\",\n");
+        json.push_str(&format!(
+            "  \"launch_mode\": {},\n  \"rows\": [\n",
+            report::json_str(launch_mode_name())
+        ));
+        for (i, (g, n, ms)) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"group\": {}, \"variant\": {}, \"ms\": {}}}{}\n",
+                report::json_str(g),
+                report::json_str(n),
+                report::json_num(*ms),
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write("BENCH_ablations.json", json).expect("write BENCH_ablations.json");
+        println!("wrote BENCH_ablations.json");
+    }
 }

@@ -1,15 +1,30 @@
 //! Regenerate paper Figure 9: per-step duration vs chunk size.
 //!
-//! Usage: `cargo run --release -p parparaw-bench --bin fig09 [--bytes 48M] [--workers N]`
+//! Usage: `cargo run --release -p parparaw-bench --bin fig09
+//! [--bytes 48M] [--workers N] [--json]`
+//!
+//! With `--json`, also writes `BENCH_pipeline.json` to the working
+//! directory: per chunk size and dataset, wall/simulated milliseconds and
+//! bytes-per-second for every phase, plus isolated pass-1/pass-2 wall
+//! timings (the numbers EXPERIMENTS.md tracks across optimisations).
 
 use parparaw_bench::datasets::Dataset;
-use parparaw_bench::{arg_size, fig09};
+use parparaw_bench::{arg_flag, arg_size, fig09};
 
 fn main() {
     let bytes = arg_size("--bytes", 16 << 20);
     let workers = arg_size("--workers", 1);
+    let json = arg_flag("--json");
+    let mut results = Vec::new();
     for dataset in Dataset::ALL {
         let rows = fig09::run(dataset, bytes, workers);
         println!("{}", fig09::print(dataset, &rows));
+        results.push((dataset, rows));
+    }
+    if json {
+        let path = "BENCH_pipeline.json";
+        std::fs::write(path, fig09::to_json(bytes, workers, &results))
+            .expect("write BENCH_pipeline.json");
+        println!("wrote {path}");
     }
 }

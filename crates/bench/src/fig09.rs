@@ -7,9 +7,13 @@
 //! simulated per-phase breakdowns.
 
 use crate::datasets::Dataset;
-use crate::report;
+use crate::{bench_ms, report};
+use parparaw_core::context::determine_contexts_with;
+use parparaw_core::meta::identify_columns_and_records;
+use parparaw_core::options::ScanAlgorithm;
 use parparaw_core::{parse_csv, ParserOptions};
-use parparaw_parallel::Grid;
+use parparaw_dfa::csv::{rfc4180, CsvDialect};
+use parparaw_parallel::{Grid, KernelExecutor};
 
 /// The paper's sweep points.
 pub const CHUNK_SIZES: [usize; 8] = [4, 8, 16, 24, 31, 32, 48, 64];
@@ -27,12 +31,18 @@ pub struct Row {
     pub sim_total_ms: f64,
     /// Total wall ms.
     pub wall_total_ms: f64,
+    /// Wall ms of the pass-1 kernels alone (context determination,
+    /// re-timed outside the pipeline; best of a few reps).
+    pub pass1_wall_ms: f64,
+    /// Wall ms of the pass-2 kernels alone (bitmaps + chunk metadata).
+    pub pass2_wall_ms: f64,
 }
 
 /// Run the sweep for one dataset.
 pub fn run(dataset: Dataset, bytes: usize, workers: usize) -> Vec<Row> {
     let data = dataset.generate(bytes);
     let schema = dataset.schema();
+    let dfa = rfc4180(&CsvDialect::default());
     CHUNK_SIZES
         .iter()
         .map(|&cs| {
@@ -55,15 +65,107 @@ pub fn run(dataset: Dataset, bytes: usize, workers: usize) -> Vec<Row> {
                 .iter()
                 .map(|(n, s)| (n.clone(), s * 1e3))
                 .collect();
+
+            // Isolated pass-1/pass-2 timings, for the speedup tracking in
+            // EXPERIMENTS.md (the pipeline buckets both under "parse").
+            let exec = KernelExecutor::new(Grid::new(workers));
+            let reps = 3;
+            let pass1_wall_ms = bench_ms(reps, || {
+                determine_contexts_with(&exec, &dfa, &data, cs, ScanAlgorithm::Blocked)
+                    .expect("pass 1 runs")
+                    .final_state
+            });
+            let ctx = determine_contexts_with(&exec, &dfa, &data, cs, ScanAlgorithm::Blocked)
+                .expect("pass 1 runs");
+            let pass2_wall_ms = bench_ms(reps, || {
+                identify_columns_and_records(&exec, &dfa, &data, cs, &ctx.start_states)
+                    .expect("pass 2 runs")
+                    .num_records
+            });
+            let _ = exec.drain_log();
+
             Row {
                 chunk_size: cs,
                 wall_total_ms: out.timings.total().as_secs_f64() * 1e3,
                 sim_total_ms: out.simulated.total_seconds * 1e3,
                 wall_ms,
                 sim_ms,
+                pass1_wall_ms,
+                pass2_wall_ms,
             }
         })
         .collect()
+}
+
+/// Render the whole sweep (all datasets) as the `BENCH_pipeline.json`
+/// machine-readable report: per phase, wall and simulated milliseconds
+/// plus the implied bytes-per-second rate, and the isolated pass-1/pass-2
+/// wall timings used for speedup tracking.
+pub fn to_json(bytes: usize, workers: usize, results: &[(Dataset, Vec<Row>)]) -> String {
+    use report::{json_num, json_str};
+    let rate = |ms: f64| {
+        json_num(if ms > 0.0 {
+            bytes as f64 / (ms / 1e3)
+        } else {
+            0.0
+        })
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"harness\": \"fig09\",\n");
+    out.push_str(&format!("  \"bytes\": {bytes},\n"));
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str(&format!(
+        "  \"launch_mode\": {},\n",
+        json_str(crate::launch_mode_name())
+    ));
+    out.push_str("  \"default_chunk_size\": 31,\n");
+    out.push_str("  \"datasets\": [\n");
+    for (di, (dataset, rows)) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": {}, \"rows\": [\n",
+            json_str(dataset.short())
+        ));
+        for (ri, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{ \"chunk_size\": {}, \"wall_total_ms\": {}, \"sim_total_ms\": {}, \
+                 \"pass1_wall_ms\": {}, \"pass2_wall_ms\": {}, \"phases\": [",
+                r.chunk_size,
+                json_num(r.wall_total_ms),
+                json_num(r.sim_total_ms),
+                json_num(r.pass1_wall_ms),
+                json_num(r.pass2_wall_ms),
+            ));
+            for (pi, (name, wall)) in r.wall_ms.iter().enumerate() {
+                let sim = r
+                    .sim_ms
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0.0);
+                out.push_str(&format!(
+                    "{}{{\"name\": {}, \"wall_ms\": {}, \"sim_ms\": {}, \"bytes_per_sec\": {}}}",
+                    if pi == 0 { "" } else { ", " },
+                    json_str(name),
+                    json_num(*wall),
+                    json_num(sim),
+                    rate(*wall),
+                ));
+            }
+            out.push_str(if ri + 1 < rows.len() {
+                "] },\n"
+            } else {
+                "] }\n"
+            });
+        }
+        out.push_str(if di + 1 < results.len() {
+            "    ] },\n"
+        } else {
+            "    ] }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Print in the paper's layout (one stacked series per chunk size).
@@ -120,5 +222,14 @@ mod tests {
         let text = print(Dataset::Taxi, &rows);
         assert!(text.contains("chunk"));
         assert!(text.contains("31"));
+        // The JSON report carries every row with per-phase rates and the
+        // isolated pass timings, with balanced structure.
+        let json = to_json(200_000, 2, &[(Dataset::Taxi, rows)]);
+        assert!(json.contains("\"harness\": \"fig09\""));
+        assert!(json.contains("\"pass1_wall_ms\""));
+        assert!(json.contains("\"bytes_per_sec\""));
+        assert!(json.contains("\"launch_mode\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

@@ -15,7 +15,7 @@
 
 use crate::chunks::{chunk_ranges, num_chunks};
 use crate::options::ScanAlgorithm;
-use parparaw_dfa::{Dfa, StateVector, VectorComposeOp};
+use parparaw_dfa::{Dfa, PairTable, StateVector, VectorComposeOp};
 use parparaw_parallel::scan::ScanOp;
 use parparaw_parallel::{lookback, scan, Grid, KernelExecutor, LaunchError};
 
@@ -41,7 +41,8 @@ pub fn determine_contexts(grid: &Grid, dfa: &Dfa, input: &[u8], chunk_size: usiz
         .expect("context kernels cannot fail without fault injection")
 }
 
-/// Run pass 1 with an explicit scan algorithm as two executor launches.
+/// Run pass 1 with an explicit scan algorithm as two executor launches,
+/// on the table-driven fast lane without a byte-pair table.
 pub fn determine_contexts_with(
     exec: &KernelExecutor,
     dfa: &Dfa,
@@ -49,18 +50,35 @@ pub fn determine_contexts_with(
     chunk_size: usize,
     algorithm: ScanAlgorithm,
 ) -> Result<ContextPass, LaunchError> {
+    determine_contexts_fast(exec, dfa, input, chunk_size, algorithm, None)
+}
+
+/// Run pass 1 on the fast lane (per-byte tables + convergence collapse;
+/// see `parparaw_dfa::table`), optionally stepping the collapsed loop two
+/// bytes at a time through a precomposed [`PairTable`].
+pub fn determine_contexts_fast(
+    exec: &KernelExecutor,
+    dfa: &Dfa,
+    input: &[u8],
+    chunk_size: usize,
+    algorithm: ScanAlgorithm,
+    pair: Option<&PairTable>,
+) -> Result<ContextPass, LaunchError> {
     let n_chunks = num_chunks(input.len(), chunk_size);
     let ranges: Vec<std::ops::Range<usize>> = chunk_ranges(input.len(), chunk_size).collect();
 
-    // Kernel 1: one virtual thread per chunk, |S| DFA instances each.
+    // Kernel 1: one virtual thread per chunk. The kernel reports the lane
+    // operations it actually executed — full width only until the vector
+    // image collapses, then one op per live state — so the cost replay
+    // sees the reduced work instead of the step-wise |S|+1 per byte.
     let vectors: Vec<StateVector> = exec.launch("parse/pass1", n_chunks, |grid, counters| {
         counters.bytes_read = input.len() as u64;
         counters.bytes_written = (n_chunks * 8) as u64;
-        // One row fetch plus |S| BFE/BFI state updates per input symbol.
-        counters.parallel_ops = input.len() as u64 * (dfa.num_states() as u64 + 1);
-        grid.map_indexed(n_chunks, |c| {
-            dfa.transition_vector(&input[ranges[c].clone()])
-        })
+        let per_chunk: Vec<(StateVector, u64)> = grid.map_indexed(n_chunks, |c| {
+            dfa.transition_vector_fast(&input[ranges[c].clone()], pair)
+        });
+        counters.parallel_ops = per_chunk.iter().map(|&(_, ops)| ops).sum();
+        per_chunk.into_iter().map(|(v, _)| v).collect()
     })?;
 
     // Exclusive scan with the composite operator.
@@ -200,7 +218,11 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert_eq!(log[0].label, "parse/pass1");
         assert_eq!(log[0].bytes_read, 1000);
-        assert!(log[0].parallel_ops >= 6000);
+        // Fast lane: full width (|S|+1 = 7) only during warm-up, then 4
+        // ops/byte once collapsed to 3 lanes — strictly less than the
+        // step-wise kernel's 7000 but still at least 4/byte.
+        assert!(log[0].parallel_ops >= 4000);
+        assert!(log[0].parallel_ops < 7000);
         assert_eq!(log[1].label, "scan/context");
         assert!(log[1].kernel_launches >= 1);
     }

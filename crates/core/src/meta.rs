@@ -139,46 +139,94 @@ pub fn identify_columns_and_records(
     let rejects = AtomicBitmap::new(n);
 
     // Kernel: single-instance DFA per chunk from its known start state.
+    // Word-wise: each chunk owns a disjoint bit range of the four bitmaps
+    // (except the one word a boundary may split), so bits accumulate in
+    // chunk-local words and flush with one `or_word` per touched word —
+    // the atomic is only contended on shared boundary words. Input is read
+    // eight bytes per load; each byte costs one fused table step
+    // (`byte_emit_row` / `byte_row` fold the group lookup into the fetch).
     let chunk_meta: Vec<ChunkMeta> = exec.launch("parse/pass2", n_chunks, |grid, counters| {
         counters.bytes_read = n as u64;
         // Four bitmaps plus the per-chunk metadata.
         counters.bytes_written = (n as u64).div_ceil(2) + (n_chunks as u64) * 24;
-        counters.parallel_ops = n as u64 * 2;
+        // One fused table step per byte; bitmap writes amortise per word.
+        counters.parallel_ops = n as u64 + (n as u64).div_ceil(16);
         grid.map_indexed(n_chunks, |c| {
+            let range = ranges[c].clone();
             let mut state = start_states[c];
             let mut meta = ChunkMeta::default();
             let mut rel: u32 = 0;
-            for i in ranges[c].clone() {
-                let g = dfa.group_of(input[i]);
-                let emit = Dfa::emit_in_row(dfa.emit_row(g), state);
-                state = Dfa::next_in_row(dfa.transition_row(g), state);
-                if emit.is_reject() {
-                    rejects.set(i);
-                }
-                if emit.is_record_delimiter() {
-                    records.set(i);
-                    if meta.record_count == 0 {
-                        meta.first_rel = rel;
-                    } else {
-                        let cols = rel + 1;
-                        if meta.mid_valid {
-                            meta.min_mid = meta.min_mid.min(cols);
-                            meta.max_mid = meta.max_mid.max(cols);
-                        } else {
-                            meta.min_mid = cols;
-                            meta.max_mid = cols;
-                            meta.mid_valid = true;
-                        }
+
+            // Accumulators for the bitmap word currently being filled:
+            // records, fields, control, rejects.
+            let mut wi = range.start >> 6;
+            let mut acc = [0u64; 4];
+            {
+                let mut step = |i: usize, b: u8| {
+                    let emit = Dfa::emit_in_row(dfa.byte_emit_row(b), state);
+                    state = Dfa::next_in_row(dfa.byte_row(b), state);
+                    if emit.bits() == 0 {
+                        return; // pure data: no bitmap bit, no meta change
                     }
-                    meta.record_count += 1;
-                    rel = 0;
-                } else if emit.is_field_delimiter() {
-                    fields.set(i);
-                    rel += 1;
-                } else if emit.is_control() {
-                    control.set(i);
+                    let w = i >> 6;
+                    if w != wi {
+                        records.or_word(wi, acc[0]);
+                        fields.or_word(wi, acc[1]);
+                        control.or_word(wi, acc[2]);
+                        rejects.or_word(wi, acc[3]);
+                        acc = [0u64; 4];
+                        wi = w;
+                    }
+                    let bit = 1u64 << (i & 63);
+                    if emit.is_reject() {
+                        acc[3] |= bit;
+                    }
+                    if emit.is_record_delimiter() {
+                        acc[0] |= bit;
+                        if meta.record_count == 0 {
+                            meta.first_rel = rel;
+                        } else {
+                            let cols = rel + 1;
+                            if meta.mid_valid {
+                                meta.min_mid = meta.min_mid.min(cols);
+                                meta.max_mid = meta.max_mid.max(cols);
+                            } else {
+                                meta.min_mid = cols;
+                                meta.max_mid = cols;
+                                meta.mid_valid = true;
+                            }
+                        }
+                        meta.record_count += 1;
+                        rel = 0;
+                    } else if emit.is_field_delimiter() {
+                        acc[1] |= bit;
+                        rel += 1;
+                    } else if emit.is_control() {
+                        acc[2] |= bit;
+                    }
+                };
+
+                let bytes = &input[range.clone()];
+                let mut i = range.start;
+                let mut words = bytes.chunks_exact(8);
+                for wbytes in words.by_ref() {
+                    let word = u64::from_le_bytes(wbytes.try_into().expect("8-byte slice"));
+                    for j in 0..8 {
+                        step(i + j, (word >> (8 * j)) as u8);
+                    }
+                    i += 8;
+                }
+                for &b in words.remainder() {
+                    step(i, b);
+                    i += 1;
                 }
             }
+            // Flush the final (possibly boundary-shared) word.
+            records.or_word(wi, acc[0]);
+            fields.or_word(wi, acc[1]);
+            control.or_word(wi, acc[2]);
+            rejects.or_word(wi, acc[3]);
+
             meta.col_offset = ColOffset {
                 abs: meta.record_count > 0,
                 value: rel,

@@ -144,6 +144,11 @@ pub struct ParserOptions {
     pub device: DeviceConfig,
     /// Prefix-scan implementation for the context scan.
     pub scan_algorithm: ScanAlgorithm,
+    /// Step pass 1's collapsed inner loop two bytes at a time through a
+    /// precomposed 64 Ki-entry byte-pair table (512 KiB, built once per
+    /// parser). Halves the table loads but grows the working set past L1;
+    /// off by default — the ablation harness measures both sides.
+    pub pass1_pair_table: bool,
     /// What to do with malformed records (§4.3).
     pub error_policy: ErrorPolicy,
     /// Abort the parse with [`crate::ParseError::TooManyRejects`] once
@@ -172,6 +177,7 @@ impl Default for ParserOptions {
             collaboration_threshold: None,
             device: DeviceConfig::titan_x_pascal(),
             scan_algorithm: ScanAlgorithm::default(),
+            pass1_pair_table: false,
             error_policy: ErrorPolicy::default(),
             max_rejects: None,
             retry: RetryPolicy::default(),
@@ -204,6 +210,12 @@ impl ParserOptions {
     /// Builder-style tagging-mode override.
     pub fn tagging(mut self, mode: TaggingMode) -> Self {
         self.tagging = mode;
+        self
+    }
+
+    /// Builder-style byte-pair-table override.
+    pub fn pass1_pair_table(mut self, enabled: bool) -> Self {
+        self.pass1_pair_table = enabled;
         self
     }
 

@@ -72,7 +72,14 @@ pub fn partition_by_column(
                         .copied()
                         .zip(flags.iter().copied())
                         .collect();
-                    radix::sort_pairs_by_key(grid, &mut keys, &mut values, max_key, digit_bits);
+                    radix::sort_pairs_by_key_in(
+                        grid,
+                        arena,
+                        &mut keys,
+                        &mut values,
+                        max_key,
+                        digit_bits,
+                    );
                     mode_bytes = 4 + 2;
                     let mut symbols = arena.take_u8("partition/symbols");
                     symbols.extend(values.iter().map(|v| v.0));
@@ -89,7 +96,14 @@ pub fn partition_by_column(
                         .copied()
                         .zip(tagged.rec_tags.iter().copied())
                         .collect();
-                    radix::sort_pairs_by_key(grid, &mut keys, &mut values, max_key, digit_bits);
+                    radix::sort_pairs_by_key_in(
+                        grid,
+                        arena,
+                        &mut keys,
+                        &mut values,
+                        max_key,
+                        digit_bits,
+                    );
                     mode_bytes = 4 + 5;
                     let mut symbols = arena.take_u8("partition/symbols");
                     symbols.extend(values.iter().map(|v| v.0));
@@ -102,7 +116,14 @@ pub fn partition_by_column(
                 (None, false) => {
                     // Inline-terminated: payload = symbol only.
                     let mut values = tagged.symbols;
-                    radix::sort_pairs_by_key(grid, &mut keys, &mut values, max_key, digit_bits);
+                    radix::sort_pairs_by_key_in(
+                        grid,
+                        arena,
+                        &mut keys,
+                        &mut values,
+                        max_key,
+                        digit_bits,
+                    );
                     mode_bytes = 4 + 1;
                     arena.put_u32("tag/rec-tags", tagged.rec_tags);
                     (values, Vec::new(), None)

@@ -32,7 +32,7 @@ use crate::timings::{ParseOutput, ParseStats, PhaseTimings, SimulatedTimings};
 use parparaw_columnar::{DataType, Field, Schema, Table};
 use parparaw_device::{CostModel, WorkProfile};
 use parparaw_dfa::csv::{rfc4180, CsvDialect};
-use parparaw_dfa::Dfa;
+use parparaw_dfa::{Dfa, PairTable};
 use parparaw_parallel::{Bitmap, KernelExecutor};
 
 /// A configured ParPaRaw parser: a DFA (the format) plus options.
@@ -40,12 +40,16 @@ use parparaw_parallel::{Bitmap, KernelExecutor};
 pub struct Parser {
     dfa: Dfa,
     options: ParserOptions,
+    /// Precomposed byte-pair table for pass 1, built once here when
+    /// [`ParserOptions::pass1_pair_table`] is set.
+    pair: Option<PairTable>,
 }
 
 impl Parser {
     /// Build a parser from a format automaton and options.
     pub fn new(dfa: Dfa, options: ParserOptions) -> Self {
-        Parser { dfa, options }
+        let pair = options.pass1_pair_table.then(|| PairTable::build(&dfa));
+        Parser { dfa, options, pair }
     }
 
     /// The format automaton.
@@ -122,8 +126,14 @@ impl Parser {
         };
 
         // Phases 1+2: context recovery and metadata.
-        let ctx =
-            crate::context::determine_contexts_with(exec, &self.dfa, input, cs, o.scan_algorithm)?;
+        let ctx = crate::context::determine_contexts_fast(
+            exec,
+            &self.dfa,
+            input,
+            cs,
+            o.scan_algorithm,
+            self.pair.as_ref(),
+        )?;
         let meta = identify_columns_and_records(exec, &self.dfa, input, cs, &ctx.start_states)?;
         let input_valid = self.dfa.is_accepting(ctx.final_state);
 

@@ -182,6 +182,16 @@ impl DfaBuilder {
         }
         let groups = SymbolGroups::new(symbols, (num_groups - 1) as u8);
 
+        // Per-byte fast-lane tables: fold the byte → group mapping into
+        // the row fetch so the simulation kernels do one load per byte.
+        let mut byte_trans = Box::new([0u64; 256]);
+        let mut byte_emit = Box::new([0u64; 256]);
+        for b in 0..256usize {
+            let g = groups.group_of(b as u8) as usize;
+            byte_trans[b] = trans_rows[g];
+            byte_emit[b] = emit_rows[g];
+        }
+
         Ok(Dfa {
             num_states: num_states as u8,
             start,
@@ -190,6 +200,8 @@ impl DfaBuilder {
             groups,
             trans_rows,
             emit_rows,
+            byte_trans,
+            byte_emit,
         })
     }
 }

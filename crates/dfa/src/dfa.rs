@@ -106,6 +106,12 @@ pub struct Dfa {
     pub(crate) trans_rows: Vec<u64>,
     /// Per-group packed emit flags, 4 bits per current state.
     pub(crate) emit_rows: Vec<u64>,
+    /// Per-*byte* packed next-state rows: `byte_trans[b]` is the
+    /// transition row of `b`'s symbol group, merging the `group_of`
+    /// lookup and the row fetch into one load (the fast-lane table).
+    pub(crate) byte_trans: Box<[u64; 256]>,
+    /// Per-byte packed emit rows, same layout as `byte_trans`.
+    pub(crate) byte_emit: Box<[u64; 256]>,
 }
 
 impl Dfa {
@@ -151,6 +157,19 @@ impl Dfa {
     #[inline(always)]
     pub fn emit_row(&self, group: u8) -> u64 {
         self.emit_rows[group as usize]
+    }
+
+    /// Packed next-state row for an input *byte*: one table load replaces
+    /// the `group_of` lookup followed by the `transition_row` fetch.
+    #[inline(always)]
+    pub fn byte_row(&self, byte: u8) -> u64 {
+        self.byte_trans[byte as usize]
+    }
+
+    /// Packed emission row for an input byte (see [`Self::byte_row`]).
+    #[inline(always)]
+    pub fn byte_emit_row(&self, byte: u8) -> u64 {
+        self.byte_emit[byte as usize]
     }
 
     /// Next state from `state` on the packed `row`.

@@ -49,6 +49,7 @@ pub mod mfira;
 pub mod spec;
 pub mod swar;
 pub mod symbol;
+pub mod table;
 pub mod vector;
 
 pub use builder::{DfaBuilder, DfaError};
@@ -56,6 +57,7 @@ pub use dfa::{Dfa, Emit, Step};
 pub use mfira::Mfira;
 pub use swar::SwarMatcher;
 pub use symbol::SymbolGroups;
+pub use table::PairTable;
 pub use vector::{StateVector, VectorComposeOp};
 
 /// Maximum number of DFA states supported by the packed representations

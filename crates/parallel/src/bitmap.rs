@@ -179,6 +179,18 @@ impl AtomicBitmap {
         self.words[i >> 6].fetch_or(1u64 << (i & 63), std::sync::atomic::Ordering::Relaxed);
     }
 
+    /// OR a whole accumulated word into word index `word` (bit positions
+    /// `word*64 ..`). The fast path for writers that own a disjoint bit
+    /// range: accumulate locally, flush once per word, and pay the atomic
+    /// only on the (rare) boundary words two chunks share — and only when
+    /// there is anything to write.
+    #[inline]
+    pub fn or_word(&self, word: usize, bits: u64) {
+        if bits != 0 {
+            self.words[word].fetch_or(bits, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
     /// Freeze into an immutable [`Bitmap`].
     pub fn into_bitmap(self) -> Bitmap {
         Bitmap {

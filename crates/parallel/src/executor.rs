@@ -520,6 +520,9 @@ macro_rules! arena_pool {
     };
 }
 
+/// One label's type-erased buffers, keyed by the concrete `Vec<T>` type.
+type ErasedPool = HashMap<std::any::TypeId, Vec<Box<dyn Any + Send>>>;
+
 /// Reusable scratch buffers keyed by launch label.
 ///
 /// A buffer "taken" from the arena is owned by the caller — the arena
@@ -527,19 +530,78 @@ macro_rules! arena_pool {
 /// "Putting" it back makes its allocation available to the next take
 /// under the same label. Buffers come back cleared but with capacity
 /// retained, which is the entire point.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct BufferArena {
     u8s: Mutex<HashMap<String, Vec<Vec<u8>>>>,
+    u16s: Mutex<HashMap<String, Vec<Vec<u16>>>>,
     u32s: Mutex<HashMap<String, Vec<Vec<u32>>>>,
     u64s: Mutex<HashMap<String, Vec<Vec<u64>>>>,
+    /// Element-type-erased pool for generic scratch (e.g. the radix
+    /// sort's value buffer, whose type varies per call site), keyed by
+    /// label and then by the concrete `Vec<T>` type.
+    anys: Mutex<HashMap<String, ErasedPool>>,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
 }
 
+impl std::fmt::Debug for BufferArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.stats();
+        f.debug_struct("BufferArena")
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish_non_exhaustive()
+    }
+}
+
 impl BufferArena {
     arena_pool!(take_u8, put_u8, u8s, u8);
+    arena_pool!(take_u16, put_u16, u16s, u16);
     arena_pool!(take_u32, put_u32, u32s, u32);
     arena_pool!(take_u64, put_u64, u64s, u64);
+
+    /// Take a cleared scratch `Vec<T>` for `label` from the type-erased
+    /// pool, reusing a previously returned one when available. Counts in
+    /// the same hit/miss stats as the typed pools.
+    pub fn take_vec<T: Send + 'static>(&self, label: &str) -> Vec<T> {
+        let mut pool = self
+            .anys
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match pool
+            .get_mut(label)
+            .and_then(|by_ty| by_ty.get_mut(&std::any::TypeId::of::<Vec<T>>()))
+            .and_then(Vec::pop)
+        {
+            Some(boxed) => {
+                // Invariant: this slot only ever holds `Vec<T>` (TypeId key).
+                let mut buf = *boxed.downcast::<Vec<T>>().expect("pool keyed by TypeId");
+                buf.clear();
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                buf
+            }
+            None => {
+                self.misses
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a scratch `Vec<T>` to the type-erased pool for `label`.
+    pub fn put_vec<T: Send + 'static>(&self, label: &str, buf: Vec<T>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.anys
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(label.to_string())
+            .or_default()
+            .entry(std::any::TypeId::of::<Vec<T>>())
+            .or_default()
+            .push(Box::new(buf));
+    }
 
     /// `(hits, misses)`: how many takes reused a pooled buffer vs had to
     /// allocate fresh. Used by tests and the steady-state-streaming bench.

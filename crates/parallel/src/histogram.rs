@@ -64,6 +64,42 @@ where
     locals
 }
 
+/// [`local_histograms`] that also records each index's (clamped) key into
+/// `digits`, so a scatter pass over the same keys reads the stored digit
+/// instead of re-evaluating `key_of` — the radix sort computes each key's
+/// digit exactly once per pass. Requires `num_bins <= 65536` (a radix
+/// digit always fits `u16`).
+pub fn local_histograms_digits<F>(
+    grid: &Grid,
+    n: usize,
+    num_bins: usize,
+    key_of: &F,
+    digits: &mut [u16],
+) -> Vec<Vec<u64>>
+where
+    F: Fn(usize) -> u32 + Sync,
+{
+    let num_bins = num_bins.clamp(1, 1 << 16);
+    assert_eq!(digits.len(), n, "one digit slot per item");
+    let parts = grid.partition(n);
+    let mut locals: Vec<Vec<u64>> = vec![Vec::new(); parts.len()];
+    {
+        use crate::grid::SlotWriter;
+        let slots = SlotWriter::new(&mut locals);
+        let dw = SlotWriter::new(digits);
+        grid.run_partitioned(n, |w, range| {
+            let mut bins = vec![0u64; num_bins];
+            for i in range {
+                let k = (key_of(i) as usize).min(num_bins - 1);
+                bins[k] += 1;
+                unsafe { dw.write(i, k as u16) };
+            }
+            unsafe { slots.write(w, bins) };
+        });
+    }
+    locals
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

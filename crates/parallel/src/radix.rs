@@ -12,13 +12,18 @@
 //! digit `d` lands directly after worker `w-1`'s run of the same digit, so
 //! items keep their relative input order.
 
+use crate::executor::BufferArena;
 use crate::grid::{Grid, SlotWriter};
-use crate::histogram::local_histograms;
+use crate::histogram::local_histograms_digits;
 
 /// Sort `(keys, values)` pairs stably by key using LSD radix passes of
 /// `digit_bits` bits. `max_key` bounds the key domain so only the necessary
 /// passes run (the paper sorts by column tag, whose domain is the column
 /// count).
+///
+/// Scratch buffers are allocated fresh; pipeline callers with an executor
+/// should prefer [`sort_pairs_by_key_in`], which draws them from a
+/// [`BufferArena`] so steady-state streaming re-sorts allocation-free.
 pub fn sort_pairs_by_key<V>(
     grid: &Grid,
     keys: &mut Vec<u32>,
@@ -26,7 +31,69 @@ pub fn sort_pairs_by_key<V>(
     max_key: u32,
     digit_bits: u32,
 ) where
-    V: Clone + Send + Sync + Default,
+    V: Clone + Send + Sync,
+{
+    let mut keys_out = Vec::new();
+    let mut values_out = Vec::new();
+    let mut digits = Vec::new();
+    sort_core(
+        grid,
+        keys,
+        values,
+        &mut keys_out,
+        &mut values_out,
+        &mut digits,
+        max_key,
+        digit_bits,
+    );
+}
+
+/// [`sort_pairs_by_key`] with scratch (key/value ping-pong buffers and the
+/// per-pass digit cache) taken from — and returned to — `arena` under the
+/// `radix/*` labels.
+pub fn sort_pairs_by_key_in<V>(
+    grid: &Grid,
+    arena: &BufferArena,
+    keys: &mut Vec<u32>,
+    values: &mut Vec<V>,
+    max_key: u32,
+    digit_bits: u32,
+) where
+    V: Clone + Send + Sync + 'static,
+{
+    let mut keys_out = arena.take_u32("radix/keys");
+    let mut values_out = arena.take_vec::<V>("radix/values");
+    let mut digits = arena.take_u16("radix/digits");
+    sort_core(
+        grid,
+        keys,
+        values,
+        &mut keys_out,
+        &mut values_out,
+        &mut digits,
+        max_key,
+        digit_bits,
+    );
+    arena.put_u32("radix/keys", keys_out);
+    arena.put_vec("radix/values", values_out);
+    arena.put_u16("radix/digits", digits);
+}
+
+/// The pass loop shared by the allocating and arena entry points. The
+/// scratch vectors arrive with arbitrary contents and leave holding
+/// whatever the last swap left behind; only their capacity matters.
+#[allow(clippy::too_many_arguments)]
+fn sort_core<V>(
+    grid: &Grid,
+    keys: &mut Vec<u32>,
+    values: &mut Vec<V>,
+    keys_out: &mut Vec<u32>,
+    values_out: &mut Vec<V>,
+    digits: &mut Vec<u16>,
+    max_key: u32,
+    digit_bits: u32,
+) where
+    V: Clone + Send + Sync,
 {
     assert_eq!(
         keys.len(),
@@ -39,22 +106,22 @@ pub fn sort_pairs_by_key<V>(
     let passes = key_bits.div_ceil(digit_bits).max(1);
 
     let n = keys.len();
-    let mut keys_out = vec![0u32; n];
-    let mut values_out = vec![V::default(); n];
+    keys_out.clear();
+    keys_out.resize(n, 0);
+    // No `V: Default`: initialise the value scratch by cloning the input
+    // (every slot is overwritten by the scatter before it is read).
+    values_out.clear();
+    values_out.extend(values.iter().cloned());
+    digits.clear();
+    digits.resize(n, 0);
 
     for pass in 0..passes {
         let shift = pass * digit_bits;
-        partition_pass(
-            grid,
-            keys,
-            values,
-            &mut keys_out,
-            &mut values_out,
-            shift,
-            num_bins,
+        partition_pass_digits(
+            grid, keys, values, keys_out, values_out, shift, num_bins, digits,
         );
-        std::mem::swap(keys, &mut keys_out);
-        std::mem::swap(values, &mut values_out);
+        std::mem::swap(keys, keys_out);
+        std::mem::swap(values, values_out);
     }
 }
 
@@ -73,12 +140,42 @@ pub fn partition_pass<V>(
 ) where
     V: Clone + Send + Sync,
 {
+    let mut digits = vec![0u16; keys.len()];
+    partition_pass_digits(
+        grid,
+        keys,
+        values,
+        keys_out,
+        values_out,
+        shift,
+        num_bins,
+        &mut digits,
+    );
+}
+
+/// [`partition_pass`] with a caller-provided digit cache: the histogram
+/// pass stores each item's digit, the scatter pass reads it back, so the
+/// shift-and-mask runs once per item instead of twice.
+#[allow(clippy::too_many_arguments)]
+fn partition_pass_digits<V>(
+    grid: &Grid,
+    keys: &[u32],
+    values: &[V],
+    keys_out: &mut [u32],
+    values_out: &mut [V],
+    shift: u32,
+    num_bins: usize,
+    digits: &mut [u16],
+) where
+    V: Clone + Send + Sync,
+{
     let n = keys.len();
     let mask = (num_bins - 1) as u32;
     let digit = |i: usize| (keys[i] >> shift) & mask;
 
-    // (1) Per-worker histograms.
-    let locals = local_histograms(grid, n, num_bins, &|i| digit(i));
+    // (1) Per-worker histograms, caching each item's digit as it is
+    // computed.
+    let locals = local_histograms_digits(grid, n, num_bins, &digit, digits);
     let num_workers = locals.len();
 
     // (2) Exclusive prefix sum in digit-major, worker-minor order.
@@ -94,14 +191,16 @@ pub fn partition_pass<V>(
 
     // (3) Stable scatter: each worker walks its contiguous input range in
     // order, so writes within (worker, digit) are ordered, and the start
-    // offsets order (digit, worker) runs correctly.
+    // offsets order (digit, worker) runs correctly. Digits come from the
+    // cache filled in step (1).
     {
         let kw = SlotWriter::new(keys_out);
         let vw = SlotWriter::new(values_out);
+        let digits = &digits[..];
         grid.run_partitioned(n, |w, range| {
             let mut cursors = starts[w].clone();
             for i in range {
-                let d = digit(i) as usize;
+                let d = digits[i] as usize;
                 let dst = cursors[d] as usize;
                 cursors[d] += 1;
                 unsafe {
@@ -185,6 +284,28 @@ mod tests {
             assert_eq!(k, want_k, "case {case} workers {workers} bits {digit_bits}");
             assert_eq!(v, want_v, "case {case} workers {workers} bits {digit_bits}");
         }
+    }
+
+    #[test]
+    fn arena_variant_matches_and_reuses_scratch() {
+        let mut rng = SplitMix64::new(0xa2e4a);
+        let arena = BufferArena::default();
+        let grid = Grid::new(3);
+        for case in 0..8 {
+            let len = 1 + rng.next_below(499) as usize;
+            let keys = rng.vec(len, |r| r.next_below(300) as u32);
+            let mut k1 = keys.clone();
+            let mut v1: Vec<u64> = (0..len as u64).collect();
+            sort_pairs_by_key(&grid, &mut k1, &mut v1, 299, 4);
+            let mut k2 = keys;
+            let mut v2: Vec<u64> = (0..len as u64).collect();
+            sort_pairs_by_key_in(&grid, &arena, &mut k2, &mut v2, 299, 4);
+            assert_eq!(k1, k2, "case {case}");
+            assert_eq!(v1, v2, "case {case}");
+        }
+        let (hits, misses) = arena.stats();
+        assert_eq!(misses, 3, "first call allocates keys/values/digits once");
+        assert_eq!(hits, 7 * 3, "every later call reuses all three buffers");
     }
 
     #[test]
