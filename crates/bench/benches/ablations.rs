@@ -202,6 +202,64 @@ fn main() {
         }),
     );
 
+    // Partition kernel: the paper's per-symbol radix sort vs the
+    // field-run scatter, on the full tag output of a 4 MB yelp input.
+    // Runs last: its multi-megabyte buffers would otherwise warm the
+    // allocator under the radix_scratch comparison above.
+    {
+        use parparaw_bench::bench_ms_consuming;
+        use parparaw_core::options::{PartitionKernel, ScanAlgorithm};
+        use parparaw_core::partition::partition_by_column_with;
+        use parparaw_core::tagging::{tag_symbols, TagConfig};
+        use parparaw_parallel::KernelExecutor;
+
+        let exec = KernelExecutor::new(Grid::new(2));
+        let cols = 9usize; // the yelp dataset's column count
+        let ctx = parparaw_core::context::determine_contexts_with(
+            &exec,
+            &dfa,
+            &yelp,
+            cs,
+            ScanAlgorithm::Blocked,
+        )
+        .expect("pass 1 runs");
+        let meta = parparaw_core::meta::identify_columns_and_records(
+            &exec,
+            &dfa,
+            &yelp,
+            cs,
+            &ctx.start_states,
+        )
+        .expect("pass 2 runs");
+        let col_map: Vec<Option<u32>> = (0..cols as u32).map(Some).collect();
+        let cfg = TagConfig {
+            mode: Default::default(),
+            col_map: &col_map,
+            skip_records: &[],
+            expected_columns: None,
+            num_out_rows: meta.num_records,
+            diags: None,
+        };
+        let tagged = tag_symbols(&exec, &yelp, cs, &meta, &cfg).expect("tag runs");
+        for kernel in [PartitionKernel::RadixSort, PartitionKernel::RunScatter] {
+            push(
+                "partition_kernel",
+                kernel.name(),
+                bench_ms_consuming(
+                    5,
+                    || tagged.clone(),
+                    |t| {
+                        partition_by_column_with(&exec, t, cols, kernel)
+                            .expect("partition runs")
+                            .symbols
+                            .len()
+                    },
+                ),
+            );
+        }
+        let _ = exec.drain_log();
+    }
+
     println!("ablations");
     let table_rows: Vec<Vec<String>> = rows
         .iter()

@@ -7,13 +7,17 @@
 //! simulated per-phase breakdowns.
 
 use crate::datasets::Dataset;
-use crate::{bench_ms, report};
+use crate::{bench_ms, bench_ms_consuming, report};
 use parparaw_core::context::determine_contexts_with;
+use parparaw_core::convert::convert_column;
+use parparaw_core::css::index_from_runs;
 use parparaw_core::meta::identify_columns_and_records;
-use parparaw_core::options::ScanAlgorithm;
+use parparaw_core::options::{PartitionKernel, ScanAlgorithm};
+use parparaw_core::partition::partition_by_column_with;
+use parparaw_core::tagging::{tag_symbols, TagConfig};
 use parparaw_core::{parse_csv, ParserOptions};
 use parparaw_dfa::csv::{rfc4180, CsvDialect};
-use parparaw_parallel::{Grid, KernelExecutor};
+use parparaw_parallel::{Bitmap, Grid, KernelExecutor};
 
 /// The paper's sweep points.
 pub const CHUNK_SIZES: [usize; 8] = [4, 8, 16, 24, 31, 32, 48, 64];
@@ -36,6 +40,14 @@ pub struct Row {
     pub pass1_wall_ms: f64,
     /// Wall ms of the pass-2 kernels alone (bitmaps + chunk metadata).
     pub pass2_wall_ms: f64,
+    /// Wall ms of the partition phase alone, run-scatter kernel.
+    pub partition_wall_ms: f64,
+    /// Wall ms of the partition phase alone, radix-sort fallback — the
+    /// before/after pair the tentpole speedup claim is measured on.
+    pub partition_radix_wall_ms: f64,
+    /// Wall ms of the convert phase alone (run-derived indexes + typed
+    /// conversion of every column).
+    pub convert_wall_ms: f64,
 }
 
 /// Run the sweep for one dataset.
@@ -82,6 +94,63 @@ pub fn run(dataset: Dataset, bytes: usize, workers: usize) -> Vec<Row> {
                     .expect("pass 2 runs")
                     .num_records
             });
+
+            // Isolated partition (both kernels) and convert timings. The
+            // partition kernels consume the tagged buffers, so each rep
+            // scatters a fresh clone (made outside the timed region).
+            let meta = identify_columns_and_records(&exec, &dfa, &data, cs, &ctx.start_states)
+                .expect("pass 2 runs");
+            let num_cols = schema.num_columns();
+            let col_map: Vec<Option<u32>> = (0..num_cols as u32).map(Some).collect();
+            let cfg = TagConfig {
+                mode: Default::default(),
+                col_map: &col_map,
+                skip_records: &[],
+                expected_columns: None,
+                num_out_rows: meta.num_records,
+                diags: None,
+            };
+            let tagged = tag_symbols(&exec, &data, cs, &meta, &cfg).expect("tag runs");
+            let time_kernel = |kernel: PartitionKernel| {
+                bench_ms_consuming(
+                    reps,
+                    || tagged.clone(),
+                    |t| {
+                        partition_by_column_with(&exec, t, num_cols, kernel)
+                            .expect("partition runs")
+                            .symbols
+                            .len()
+                    },
+                )
+            };
+            let partition_wall_ms = time_kernel(PartitionKernel::RunScatter);
+            let partition_radix_wall_ms = time_kernel(PartitionKernel::RadixSort);
+
+            let part =
+                partition_by_column_with(&exec, tagged, num_cols, PartitionKernel::RunScatter)
+                    .expect("partition runs");
+            let grid = Grid::new(workers);
+            let num_rows = meta.num_records as usize;
+            let rejected = Bitmap::new(num_rows);
+            let threshold = ParserOptions::default().effective_collaboration_threshold();
+            let convert_wall_ms = bench_ms(reps, || {
+                let mut total = 0usize;
+                for c in 0..num_cols {
+                    let index = index_from_runs(part.col_runs(c).expect("run scatter has runs"));
+                    let out = convert_column(
+                        &grid,
+                        part.css(c),
+                        &index,
+                        num_rows,
+                        schema.fields[c].data_type,
+                        schema.fields[c].default.as_ref(),
+                        &rejected,
+                        threshold,
+                    );
+                    total += out.column.len();
+                }
+                total
+            });
             let _ = exec.drain_log();
 
             Row {
@@ -92,6 +161,9 @@ pub fn run(dataset: Dataset, bytes: usize, workers: usize) -> Vec<Row> {
                 sim_ms,
                 pass1_wall_ms,
                 pass2_wall_ms,
+                partition_wall_ms,
+                partition_radix_wall_ms,
+                convert_wall_ms,
             }
         })
         .collect()
@@ -129,12 +201,16 @@ pub fn to_json(bytes: usize, workers: usize, results: &[(Dataset, Vec<Row>)]) ->
         for (ri, r) in rows.iter().enumerate() {
             out.push_str(&format!(
                 "      {{ \"chunk_size\": {}, \"wall_total_ms\": {}, \"sim_total_ms\": {}, \
-                 \"pass1_wall_ms\": {}, \"pass2_wall_ms\": {}, \"phases\": [",
+                 \"pass1_wall_ms\": {}, \"pass2_wall_ms\": {}, \"partition_wall_ms\": {}, \
+                 \"partition_radix_wall_ms\": {}, \"convert_wall_ms\": {}, \"phases\": [",
                 r.chunk_size,
                 json_num(r.wall_total_ms),
                 json_num(r.sim_total_ms),
                 json_num(r.pass1_wall_ms),
                 json_num(r.pass2_wall_ms),
+                json_num(r.partition_wall_ms),
+                json_num(r.partition_radix_wall_ms),
+                json_num(r.convert_wall_ms),
             ));
             for (pi, (name, wall)) in r.wall_ms.iter().enumerate() {
                 let sim = r
@@ -227,6 +303,9 @@ mod tests {
         let json = to_json(200_000, 2, &[(Dataset::Taxi, rows)]);
         assert!(json.contains("\"harness\": \"fig09\""));
         assert!(json.contains("\"pass1_wall_ms\""));
+        assert!(json.contains("\"partition_wall_ms\""));
+        assert!(json.contains("\"partition_radix_wall_ms\""));
+        assert!(json.contains("\"convert_wall_ms\""));
         assert!(json.contains("\"bytes_per_sec\""));
         assert!(json.contains("\"launch_mode\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

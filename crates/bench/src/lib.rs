@@ -51,6 +51,25 @@ pub fn bench_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     best
 }
 
+/// [`bench_ms`] for functions that consume their input: `setup` rebuilds
+/// the input before every repetition, outside the timed region, so the
+/// rebuild cost (e.g. cloning a buffer the kernel will destroy) doesn't
+/// pollute the measurement.
+pub fn bench_ms_consuming<T, R>(
+    reps: usize,
+    mut setup: impl FnMut() -> T,
+    mut f: impl FnMut(T) -> R,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let input = setup();
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(f(input));
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
 /// Read `--bytes`/`--workers` style flags from `std::env::args`.
 pub fn arg_size(flag: &str, default: usize) -> usize {
     let args: Vec<String> = std::env::args().collect();

@@ -23,11 +23,39 @@ use parparaw_parallel::grid::SlotWriter;
 use parparaw_parallel::{Bitmap, Grid};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Unaligned little-endian u64 load of the first 8 bytes of `s`.
+#[inline]
+fn read_u64le(s: &[u8]) -> u64 {
+    u64::from_le_bytes(s[..8].try_into().expect("caller checks len >= 8"))
+}
+
+/// SWAR check that all 8 bytes of `v` are ASCII digits: the high nibbles
+/// must all be `3`, and adding 6 to each low nibble must not carry into
+/// the high nibble (which it does exactly for low nibbles above 9).
+#[inline]
+fn is_8_digits(v: u64) -> bool {
+    const HI: u64 = 0xF0F0_F0F0_F0F0_F0F0;
+    const THREES: u64 = 0x3030_3030_3030_3030;
+    v & HI == THREES && v.wrapping_add(0x0606_0606_0606_0606) & HI == THREES
+}
+
+/// SWAR accumulation of 8 ASCII digits in one u64 (first byte in memory is
+/// the most significant digit): three multiply-shift rounds combine
+/// neighbouring lanes pairwise — ones into tens, tens into thousands,
+/// thousands into the final value.
+#[inline]
+fn parse_8_digits(v: u64) -> u64 {
+    let v = v & 0x0F0F_0F0F_0F0F_0F0F;
+    let v = v.wrapping_mul((10 << 8) + 1) >> 8;
+    let v = (v & 0x00FF_00FF_00FF_00FF).wrapping_mul((100 << 16) + 1) >> 16;
+    ((v & 0x0000_FFFF_0000_FFFF).wrapping_mul((10_000 << 32) + 1)) >> 32
+}
+
 /// Parse a signed integer (optional `+`/`-`, decimal digits, surrounding
 /// ASCII whitespace tolerated). Overflow rejects.
 pub fn parse_i64(mut s: &[u8]) -> Option<i64> {
     s = trim(s);
-    let (neg, rest) = match s.split_first() {
+    let (neg, mut rest) = match s.split_first() {
         Some((b'-', r)) => (true, r),
         Some((b'+', r)) => (false, r),
         _ => (false, s),
@@ -35,7 +63,22 @@ pub fn parse_i64(mut s: &[u8]) -> Option<i64> {
     if rest.is_empty() {
         return None;
     }
+    // SWAR fast path: validate and accumulate 8 digits per u64 load. The
+    // checked ops keep the exact digit-at-a-time overflow semantics:
+    // every intermediate is a prefix of the final (negative) value, so a
+    // representable result never trips them and an overflowing one always
+    // does — at this block or in the scalar tail.
     let mut acc: i64 = 0;
+    while rest.len() >= 8 {
+        let v = read_u64le(rest);
+        if !is_8_digits(v) {
+            break;
+        }
+        acc = acc
+            .checked_mul(100_000_000)?
+            .checked_sub(parse_8_digits(v) as i64)?;
+        rest = &rest[8..];
+    }
     for &b in rest {
         let d = b.wrapping_sub(b'0');
         if d > 9 {
@@ -50,8 +93,9 @@ pub fn parse_i64(mut s: &[u8]) -> Option<i64> {
     }
 }
 
-/// Parse a double: fast path for plain `[-+]ddd.ddd`, falling back to the
-/// standard library for exponents and other spellings.
+/// Parse a double: fast path for plain `[-+]ddd.ddd` (validating and
+/// accumulating 8 digits per u64 load), falling back to the standard
+/// library for exponents and other spellings.
 pub fn parse_f64(s: &[u8]) -> Option<f64> {
     let s = trim(s);
     if s.is_empty() {
@@ -62,9 +106,27 @@ pub fn parse_f64(s: &[u8]) -> Option<f64> {
         Some((b'+', r)) => (false, r),
         _ => (false, s),
     };
+    // No digit up front means no speculative arithmetic: a lone '.' (or
+    // '.' followed by a non-digit) rejects outright, anything else
+    // (inf/nan/garbage/empty) defers to the slow path immediately.
+    match rest.first() {
+        Some(b) if b.is_ascii_digit() => {}
+        Some(b'.') if rest.get(1).is_some_and(|b| b.is_ascii_digit()) => {}
+        Some(b'.') => return None,
+        _ => return parse_f64_slow(s),
+    }
     let mut int_part: u64 = 0;
     let mut i = 0;
     let mut digits = 0;
+    while digits <= 9 && rest.len() - i >= 8 {
+        let v = read_u64le(&rest[i..]);
+        if !is_8_digits(v) {
+            break;
+        }
+        int_part = int_part * 100_000_000 + parse_8_digits(v);
+        i += 8;
+        digits += 8;
+    }
     while i < rest.len() && rest[i].is_ascii_digit() && digits < 18 {
         int_part = int_part * 10 + (rest[i] - b'0') as u64;
         i += 1;
@@ -79,6 +141,16 @@ pub fn parse_f64(s: &[u8]) -> Option<f64> {
         let mut frac: u64 = 0;
         let mut scale: f64 = 1.0;
         let mut fdigits = 0;
+        while fdigits <= 8 && rest.len() - i >= 8 {
+            let v = read_u64le(&rest[i..]);
+            if !is_8_digits(v) {
+                break;
+            }
+            frac = frac * 100_000_000 + parse_8_digits(v);
+            scale *= 1e8;
+            i += 8;
+            fdigits += 8;
+        }
         while i < rest.len() && rest[i].is_ascii_digit() && fdigits < 17 {
             frac = frac * 10 + (rest[i] - b'0') as u64;
             scale *= 10.0;
@@ -89,11 +161,6 @@ pub fn parse_f64(s: &[u8]) -> Option<f64> {
             return parse_f64_slow(s);
         }
         value += frac as f64 / scale;
-        if digits == 0 && fdigits == 0 {
-            return None; // lone '.'
-        }
-    } else if digits == 0 {
-        return parse_f64_slow(s); // inf/nan or garbage
     }
     if i != rest.len() {
         return parse_f64_slow(s); // exponent or trailing junk
@@ -174,11 +241,26 @@ pub fn parse_bool(s: &[u8]) -> Option<bool> {
 /// Parse `YYYY-MM-DD` into days since the Unix epoch.
 pub fn parse_date(s: &[u8]) -> Option<i32> {
     let s = trim(s);
-    if s.len() != 10 || s[4] != b'-' || s[7] != b'-' {
+    if s.len() != 10 {
         return None;
     }
-    let y = digits(&s[0..4])? as i32;
-    let m = digits(&s[5..7])?;
+    // One u64 load covers "YYYY-MM-": check both dashes at once,
+    // substitute '0' for them, and the digit-validating SWAR accumulator
+    // yields `year·10⁴ + month·10` directly.
+    const DASH_MASK: u64 = 0xFF << 32 | 0xFF << 56;
+    const DASHES: u64 = (b'-' as u64) << 32 | (b'-' as u64) << 56;
+    const ZERO_FILL: u64 = (b'0' as u64) << 32 | (b'0' as u64) << 56;
+    let v = read_u64le(s);
+    if v & DASH_MASK != DASHES {
+        return None;
+    }
+    let packed = (v & !DASH_MASK) | ZERO_FILL;
+    if !is_8_digits(packed) {
+        return None;
+    }
+    let ym = parse_8_digits(packed);
+    let y = (ym / 10_000) as i32;
+    let m = (ym % 10_000 / 10) as u32;
     let d = digits(&s[8..10])?;
     if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
         return None;
@@ -200,12 +282,24 @@ pub fn parse_timestamp(s: &[u8]) -> Option<i64> {
         return None;
     }
     let days = parse_date(&s[0..10])? as i64;
-    if s[13] != b':' || s[16] != b':' {
+    // One u64 load covers "HH:MM:SS": check both colons at once,
+    // substitute '0' for them, and split the SWAR-accumulated value back
+    // into its three two-digit components.
+    const COLON_MASK: u64 = 0xFF << 16 | 0xFF << 40;
+    const COLONS: u64 = (b':' as u64) << 16 | (b':' as u64) << 40;
+    const ZERO_FILL: u64 = (b'0' as u64) << 16 | (b'0' as u64) << 40;
+    let v = read_u64le(&s[11..19]);
+    if v & COLON_MASK != COLONS {
         return None;
     }
-    let h = digits(&s[11..13])? as i64;
-    let mi = digits(&s[14..16])? as i64;
-    let sec = digits(&s[17..19])? as i64;
+    let packed = (v & !COLON_MASK) | ZERO_FILL;
+    if !is_8_digits(packed) {
+        return None;
+    }
+    let hms = parse_8_digits(packed);
+    let h = (hms / 1_000_000) as i64;
+    let mi = (hms % 1_000_000 / 1_000) as i64;
+    let sec = (hms % 1_000) as i64;
     if h > 23 || mi > 59 || sec > 60 {
         return None;
     }
@@ -1055,5 +1149,102 @@ mod proptests {
             let rendered = parparaw_columnar::Value::TimestampMicros(us).to_string();
             assert_eq!(parse_timestamp(rendered.as_bytes()), Some(us), "{rendered}");
         }
+    }
+
+    #[test]
+    fn i64_swar_boundaries_match_std() {
+        // Fixed boundaries through the 8-digit SWAR blocks: the extremes,
+        // whitespace, and leading zeros (which push the same value through
+        // different block alignments).
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, i64::MAX - 1, i64::MIN + 1] {
+            for pad in ["", " ", "\t "] {
+                for zeros in ["", "0", "00000000"] {
+                    let sign = if v < 0 { "-" } else { "" };
+                    let mag = v.unsigned_abs();
+                    let s = format!("{pad}{sign}{zeros}{mag}{pad}");
+                    assert_eq!(parse_i64(s.as_bytes()), Some(v), "{s:?}");
+                }
+            }
+        }
+        // One digit past the extremes overflows in both.
+        assert_eq!(parse_i64(b"9223372036854775808"), None);
+        assert_eq!(parse_i64(b"-9223372036854775809"), None);
+        // Random digit strings of 1-25 digits — through in-range, boundary,
+        // and overflowing lengths — agree with the standard library.
+        let mut rng = SplitMix64::new(0xC04F_EE08);
+        for _ in 0..4096 {
+            let mut s = String::new();
+            if rng.chance(0.2) {
+                s.push(' ');
+            }
+            if rng.chance(0.4) {
+                s.push(if rng.chance(0.5) { '+' } else { '-' });
+            }
+            for _ in 0..rng.next_range(1, 25) {
+                s.push((b'0' + rng.next_below(10) as u8) as char);
+            }
+            if rng.chance(0.2) {
+                s.push('\t');
+            }
+            assert_eq!(
+                parse_i64(s.as_bytes()),
+                s.trim().parse::<i64>().ok(),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn f64_long_mantissas_match_std() {
+        // 17-19 digit mantissas straddle the fast path's deferral points
+        // (18 integer digits, 17 fractional digits) on both sides.
+        let mut rng = SplitMix64::new(0xC04F_EE09);
+        for _ in 0..4096 {
+            let mut digs = String::new();
+            if rng.chance(0.3) {
+                digs.push('0');
+            }
+            let ndigits = rng.next_range(17, 19) as usize;
+            while digs.len() < ndigits {
+                digs.push((b'0' + rng.next_below(10) as u8) as char);
+            }
+            if rng.chance(0.7) {
+                let dot = rng.next_below(digs.len() as u64 + 1) as usize;
+                digs.insert(dot, '.');
+            }
+            let s = if rng.chance(0.5) {
+                format!("-{digs}")
+            } else {
+                digs
+            };
+            let ours = parse_f64(s.as_bytes());
+            let std = s.parse::<f64>().ok();
+            match (ours, std) {
+                // Decimal accumulation vs correctly-rounded std: 1 ulp-ish.
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() <= b.abs() * 1e-15 + f64::EPSILON, "{s}")
+                }
+                (a, b) => assert_eq!(a.is_some(), b.is_some(), "{s}"),
+            }
+        }
+    }
+
+    #[test]
+    fn date_time_swar_rejects_malformed() {
+        // Every byte the SWAR masks substitute or validate: misplaced
+        // separators, separator bytes inside digit groups, out-of-range
+        // components, and over-long fractions.
+        assert_eq!(parse_date(b"2020-13-01"), None);
+        assert_eq!(parse_date(b"2020:01-01"), None);
+        assert_eq!(parse_date(b"20-0-01-01"), None);
+        assert_eq!(parse_date(b"2020-01-32"), None);
+        assert_eq!(parse_date(b"202a-01-01"), None);
+        assert_eq!(parse_date(b"2021-02-29"), None);
+        assert_eq!(parse_date(b" 2020-02-29 "), Some(ymd_to_days(2020, 2, 29)));
+        assert_eq!(parse_timestamp(b"2020-01-01 12:34:5x"), None);
+        assert_eq!(parse_timestamp(b"2020-01-01 25:00:00"), None);
+        assert_eq!(parse_timestamp(b"2020-01-01T12-34:56"), None);
+        assert_eq!(parse_timestamp(b"2020-01-01 12:34:56.1234567"), None);
+        assert_eq!(parse_timestamp(b"1970-01-01T00:00:01.5"), Some(1_500_000));
     }
 }

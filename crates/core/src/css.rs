@@ -13,6 +13,7 @@
 //! * vector-delimited — identical, reading the auxiliary flag vector
 //!   instead of the CSS bytes.
 
+use crate::tagging::FieldRun;
 use parparaw_parallel::grid::SlotWriter;
 use parparaw_parallel::rle::run_length_encode;
 use parparaw_parallel::scan;
@@ -44,6 +45,35 @@ impl FieldIndex {
     pub fn field_len(&self, k: usize) -> usize {
         (self.ends[k] - self.starts[k]) as usize
     }
+}
+
+/// Build the index directly from a column's field runs (the run-scatter
+/// partition kernel's output) — no per-byte scan over the CSS at all.
+///
+/// Runs arrive in input order with CSS-relative, contiguous starts. A
+/// field split across chunk boundaries shows up as adjacent runs with the
+/// same row and touching offsets; those merge. A `closed` run ends with
+/// the field's terminator/delimiter symbol, which the field range
+/// excludes — exactly the semantics of [`index_inline`]/[`index_vector`].
+/// Record-tagged runs are never closed, matching [`index_record_tagged`].
+pub fn index_from_runs(runs: &[FieldRun]) -> FieldIndex {
+    let mut rows: Vec<u32> = Vec::with_capacity(runs.len());
+    let mut starts: Vec<u64> = Vec::with_capacity(runs.len());
+    let mut ends: Vec<u64> = Vec::with_capacity(runs.len());
+    for r in runs {
+        let end = r.start + r.len - u64::from(r.closed);
+        if let (Some(&last_row), Some(last_end)) = (rows.last(), ends.last_mut()) {
+            if last_row == r.row && *last_end == r.start {
+                // Continuation of a chunk-split field.
+                *last_end = end;
+                continue;
+            }
+        }
+        rows.push(r.row);
+        starts.push(r.start);
+        ends.push(end);
+    }
+    FieldIndex { rows, starts, ends }
 }
 
 /// Build the index from record tags (record-tagged mode): a run-length
@@ -204,6 +234,52 @@ mod tests {
         assert_eq!(idx.num_fields(), 0);
         let idx = index_record_tagged(&grid(), &[]);
         assert_eq!(idx.num_fields(), 0);
+    }
+
+    fn run(col: u32, row: u32, start: u64, len: u64, closed: bool) -> FieldRun {
+        FieldRun {
+            col,
+            row,
+            start,
+            len,
+            closed,
+        }
+    }
+
+    #[test]
+    fn runs_index_merges_chunk_split_fields() {
+        // A record-tagged column whose second field was split across two
+        // chunks: rows 0, 1, 1 with touching offsets.
+        let runs = [
+            run(2, 0, 0, 8, false),
+            run(2, 1, 8, 10, false),
+            run(2, 1, 18, 12, false),
+        ];
+        let idx = index_from_runs(&runs);
+        assert_eq!(idx.rows, vec![0, 1]);
+        assert_eq!(idx.field_range(0), 0..8);
+        assert_eq!(idx.field_range(1), 8..30);
+    }
+
+    #[test]
+    fn runs_index_excludes_closing_delimiter() {
+        // Inline/vector-style runs: Apples\0 | \0 | Pears\0 — the closed
+        // flag drops the terminator from each range, and the len-1 closed
+        // run is an empty field.
+        let runs = [
+            run(1, 0, 0, 7, true),
+            run(1, 1, 7, 1, true),
+            run(1, 2, 8, 6, true),
+        ];
+        let idx = index_from_runs(&runs);
+        assert_eq!(idx.rows, vec![0, 1, 2]);
+        assert_eq!(idx.field_range(0), 0..6);
+        assert_eq!(idx.field_range(1), 7..7);
+        assert_eq!(idx.field_range(2), 8..13);
+        // An unterminated tail keeps its full range.
+        let idx = index_from_runs(&[run(0, 0, 0, 3, true), run(0, 1, 3, 2, false)]);
+        assert_eq!(idx.field_range(1), 3..5);
+        assert_eq!(index_from_runs(&[]).num_fields(), 0);
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //!    offsets ([`meta`]);
 //! 3. **tag** — symbols are tagged with their record and column, in one of
 //!    three tagging modes ([`tagging`], paper §4.1);
-//! 4. **partition** — a stable radix sort gathers each column's symbols
-//!    into its concatenated symbol string ([`partition`]);
+//! 4. **partition** — a single-pass field-run scatter (or, as a fallback,
+//!    the paper's stable radix sort) gathers each column's symbols into
+//!    its concatenated symbol string ([`partition`]);
 //! 5. **convert** — CSS indexing, optional type inference, and typed
 //!    columnar materialisation in an Arrow-like layout ([`css`],
 //!    [`infer`], [`convert`]).
@@ -73,7 +74,9 @@ pub mod timings;
 
 pub use diag::{RecordDiagnostic, RejectReason};
 pub use error::ParseError;
-pub use options::{ErrorPolicy, FaultInjection, ParserOptions, ScanAlgorithm, TaggingMode};
+pub use options::{
+    ErrorPolicy, FaultInjection, ParserOptions, PartitionKernel, ScanAlgorithm, TaggingMode,
+};
 pub use pipeline::{parse_csv, Parser};
 pub use streaming::{PartitionIter, PartitionReport, StreamedOutput};
 pub use timings::{ParseOutput, ParseStats, PhaseTimings, SimulatedTimings};

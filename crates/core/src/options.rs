@@ -90,6 +90,31 @@ impl TaggingMode {
     }
 }
 
+/// Which kernel transposes tagged symbols into per-column CSSs
+/// (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionKernel {
+    /// Single-pass field-run scatter: a histogram + exclusive prefix scan
+    /// over the tag phase's field runs yields every field's destination,
+    /// then whole fields move with one memcpy each.
+    #[default]
+    RunScatter,
+    /// The paper's original stable LSD radix sort over per-symbol column
+    /// tags — `passes × n × (key + payload)` bytes of sorted traffic.
+    /// Kept for equivalence tests and ablations.
+    RadixSort,
+}
+
+impl PartitionKernel {
+    /// Short name used in reports (`run_scatter`, `radix_sort`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionKernel::RunScatter => "run_scatter",
+            PartitionKernel::RadixSort => "radix_sort",
+        }
+    }
+}
+
 /// Which parallel prefix-scan implementation drives the pipeline's
 /// context scan (the other scans are small enough not to matter).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -144,6 +169,10 @@ pub struct ParserOptions {
     pub device: DeviceConfig,
     /// Prefix-scan implementation for the context scan.
     pub scan_algorithm: ScanAlgorithm,
+    /// Kernel used by the partition phase (§3.3). The run-scatter default
+    /// moves whole fields in one pass; `RadixSort` restores the paper's
+    /// per-symbol sort.
+    pub partition_kernel: PartitionKernel,
     /// Step pass 1's collapsed inner loop two bytes at a time through a
     /// precomposed 64 Ki-entry byte-pair table (512 KiB, built once per
     /// parser). Halves the table loads but grows the working set past L1;
@@ -177,6 +206,7 @@ impl Default for ParserOptions {
             collaboration_threshold: None,
             device: DeviceConfig::titan_x_pascal(),
             scan_algorithm: ScanAlgorithm::default(),
+            partition_kernel: PartitionKernel::default(),
             pass1_pair_table: false,
             error_policy: ErrorPolicy::default(),
             max_rejects: None,
@@ -210,6 +240,12 @@ impl ParserOptions {
     /// Builder-style tagging-mode override.
     pub fn tagging(mut self, mode: TaggingMode) -> Self {
         self.tagging = mode;
+        self
+    }
+
+    /// Builder-style partition-kernel override.
+    pub fn partition_kernel(mut self, kernel: PartitionKernel) -> Self {
+        self.partition_kernel = kernel;
         self
     }
 
@@ -257,6 +293,7 @@ mod tests {
         let o = ParserOptions::default();
         assert_eq!(o.chunk_size, 31);
         assert_eq!(o.tagging, TaggingMode::RecordTagged);
+        assert_eq!(o.partition_kernel, PartitionKernel::RunScatter);
         assert!(o.infer_types);
     }
 

@@ -1,16 +1,40 @@
 //! Partitioning symbols by column (paper §3.3).
 //!
-//! A stable LSD radix sort on the column tags gathers each column's
-//! symbols into its *concatenated symbol string* (CSS) while preserving
-//! input order within the column. The payload moved alongside the sort key
-//! depends on the tagging mode — record tags ride along only in
-//! record-tagged mode, which is exactly the extra memory traffic that
-//! Figure 11 shows the other modes avoiding. The histogram maintained by
-//! the sort doubles as the column-offsets table.
+//! Two kernels produce each column's *concatenated symbol string* (CSS):
+//!
+//! * **run scatter** (default) — the tag phase's per-field runs fully
+//!   determine every symbol's destination: a per-column histogram over
+//!   run lengths plus an exclusive prefix scan yields the CSS offsets,
+//!   then whole fields move with one `copy_from_slice` each. One O(n)
+//!   pass of contiguous memcpy; the per-symbol payloads (record tags,
+//!   delimiter flags) are materialised per-run only in the modes that
+//!   need them, preserving the Figure 11 mode-traffic ordering.
+//! * **radix sort** — the paper's original formulation: a stable LSD
+//!   radix sort on the column tags, `passes × n × (key + payload)` bytes
+//!   of sorted traffic. Kept as [`crate::options::PartitionKernel`]
+//!   fallback for equivalence tests and ablations.
+//!
+//! Stability of the run scatter comes from the same *(column-major,
+//! worker-minor)* scan ordering the radix scatter uses: worker `w`'s runs
+//! of column `c` land directly after worker `w-1`'s runs of the same
+//! column, so fields keep their input order within each column.
 
-use crate::tagging::Tagged;
+use crate::options::PartitionKernel;
+use crate::tagging::{FieldRun, Tagged, RUN_BYTES};
+use parparaw_parallel::grid::SlotWriter;
 use parparaw_parallel::scan::{exclusive_scan_seq, AddOp};
 use parparaw_parallel::{histogram, radix, KernelExecutor, LaunchError};
+
+/// A column's field runs after partitioning: grouped by column, input
+/// order within each column, `start` rebased to the column's CSS.
+#[derive(Debug)]
+pub struct ColumnRuns {
+    /// All columns' runs, concatenated in column order.
+    pub runs: Vec<FieldRun>,
+    /// Range of column `c`'s runs (`runs[col_starts[c]..col_starts[c+1]]`);
+    /// length `num_columns + 1`.
+    pub col_starts: Vec<u64>,
+}
 
 /// Column-partitioned symbol data.
 #[derive(Debug)]
@@ -26,17 +50,200 @@ pub struct Partitioned {
     pub delim_flags: Option<Vec<bool>>,
     /// Start offset of each column's CSS; length `num_columns + 1`.
     pub col_starts: Vec<u64>,
+    /// Column-grouped field runs (run-scatter kernel only; `None` from
+    /// the radix fallback, which sends convert down the per-byte index
+    /// scans instead).
+    pub runs: Option<ColumnRuns>,
 }
 
 /// Partition the tagged symbols into per-column CSSs as one instrumented
-/// `partition` launch.
+/// `partition` launch, using the default run-scatter kernel.
 ///
 /// The consumed tag buffers go back to the executor's arena (so the next
 /// pipeline run's `tag` launch reuses them) and the output symbol/tag
-/// arrays come from it (labels `partition/symbols`, `partition/rec-tags`).
-/// The pipeline puts those outputs back once the convert phase has
-/// consumed the CSSs, closing the reuse cycle across streaming runs.
+/// arrays come from it (labels `partition/symbols`, `partition/rec-tags`,
+/// `partition/runs`). The pipeline puts those outputs back once the
+/// convert phase has consumed the CSSs, closing the reuse cycle across
+/// streaming runs.
 pub fn partition_by_column(
+    exec: &KernelExecutor,
+    tagged: Tagged,
+    num_columns: usize,
+) -> Result<Partitioned, LaunchError> {
+    partition_by_column_with(exec, tagged, num_columns, PartitionKernel::RunScatter)
+}
+
+/// [`partition_by_column`] with an explicit kernel choice.
+pub fn partition_by_column_with(
+    exec: &KernelExecutor,
+    tagged: Tagged,
+    num_columns: usize,
+    kernel: PartitionKernel,
+) -> Result<Partitioned, LaunchError> {
+    match kernel {
+        PartitionKernel::RunScatter => partition_run_scatter(exec, tagged, num_columns),
+        PartitionKernel::RadixSort => partition_radix_sort(exec, tagged, num_columns),
+    }
+}
+
+/// The run-scatter kernel: (1) per-worker histograms over the field runs
+/// counting runs and symbols per column, (2) column-major/worker-minor
+/// exclusive prefix scans over both (reusing the radix sort's stability
+/// shape), (3) a scatter pass moving each run's symbols with one memcpy.
+fn partition_run_scatter(
+    exec: &KernelExecutor,
+    tagged: Tagged,
+    num_columns: usize,
+) -> Result<Partitioned, LaunchError> {
+    let n = tagged.symbols.len();
+    let num_columns = num_columns.max(1);
+    let num_runs = tagged.runs.len();
+    let want_rec_tags = !tagged.rec_tags.is_empty();
+    let want_flags = tagged.delim_flags.is_some();
+
+    // `launch_once` because the scatter consumes the tagged buffers;
+    // injected faults (which fire before the job body runs) still retry.
+    exec.launch_once("partition", n, |grid, counters| {
+        let arena = exec.arena();
+        let in_runs = &tagged.runs;
+
+        // (1) Per-worker local histograms over the runs: run count and
+        // symbol count per column.
+        let parts = grid.partition(num_runs);
+        let num_workers = parts.len().max(1);
+        let mut locals: Vec<(Vec<u64>, Vec<u64>)> =
+            vec![(vec![0u64; num_columns], vec![0u64; num_columns]); num_workers];
+        {
+            let lw = SlotWriter::new(&mut locals);
+            grid.run_partitioned(num_runs, |w, range| {
+                let mut run_hist = vec![0u64; num_columns];
+                let mut sym_hist = vec![0u64; num_columns];
+                for i in range {
+                    let r = &in_runs[i];
+                    run_hist[r.col as usize] += 1;
+                    sym_hist[r.col as usize] += r.len;
+                }
+                unsafe { lw.write(w, (run_hist, sym_hist)) };
+            });
+        }
+
+        // (2) Exclusive prefix sums in column-major, worker-minor order:
+        // per-(worker, column) write cursors for both the symbol and the
+        // run output, plus the per-column CSS offsets.
+        let mut sym_cursors: Vec<Vec<u64>> = vec![vec![0u64; num_columns]; num_workers];
+        let mut run_cursors: Vec<Vec<u64>> = vec![vec![0u64; num_columns]; num_workers];
+        let mut col_starts = Vec::with_capacity(num_columns + 1);
+        let mut col_run_starts = Vec::with_capacity(num_columns + 1);
+        let mut sym_running = 0u64;
+        let mut run_running = 0u64;
+        for c in 0..num_columns {
+            col_starts.push(sym_running);
+            col_run_starts.push(run_running);
+            for w in 0..num_workers {
+                sym_cursors[w][c] = sym_running;
+                run_cursors[w][c] = run_running;
+                sym_running += locals[w].1[c];
+                run_running += locals[w].0[c];
+            }
+        }
+        col_starts.push(sym_running);
+        col_run_starts.push(run_running);
+        debug_assert_eq!(sym_running as usize, n, "runs must cover every symbol");
+        debug_assert_eq!(run_running as usize, num_runs);
+
+        // (3) Stable scatter: each worker walks its contiguous run range
+        // in order, moving whole fields with one memcpy each and
+        // materialising the per-symbol payloads only where the mode
+        // needs them.
+        let mut symbols = arena.take_u8("partition/symbols");
+        symbols.resize(n, 0);
+        let mut rec_tags = arena.take_u32("partition/rec-tags");
+        rec_tags.resize(if want_rec_tags { n } else { 0 }, 0);
+        let mut flags_out = vec![false; if want_flags { n } else { 0 }];
+        let empty_run = FieldRun {
+            col: 0,
+            row: 0,
+            start: 0,
+            len: 0,
+            closed: false,
+        };
+        let mut out_runs = arena.take_vec::<FieldRun>("partition/runs");
+        out_runs.clear();
+        out_runs.resize(num_runs, empty_run);
+        {
+            let sym_w = SlotWriter::new(&mut symbols);
+            let rt_w = SlotWriter::new(&mut rec_tags);
+            let fl_w = SlotWriter::new(&mut flags_out);
+            let run_w = SlotWriter::new(&mut out_runs);
+            let in_syms = &tagged.symbols[..];
+            let in_flags = tagged.delim_flags.as_deref();
+            let col_starts = &col_starts[..];
+            grid.run_partitioned(num_runs, |w, range| {
+                let mut sym_cur = sym_cursors[w].clone();
+                let mut run_cur = run_cursors[w].clone();
+                for i in range {
+                    let r = in_runs[i];
+                    let c = r.col as usize;
+                    let (src, len) = (r.start as usize, r.len as usize);
+                    let dst = sym_cur[c] as usize;
+                    sym_cur[c] += r.len;
+                    unsafe {
+                        sym_w.write_slice(dst, &in_syms[src..src + len]);
+                        if want_rec_tags {
+                            rt_w.write_fill(dst, len, r.row);
+                        }
+                        if let Some(f) = in_flags {
+                            fl_w.write_slice(dst, &f[src..src + len]);
+                        }
+                        run_w.write(
+                            run_cur[c] as usize,
+                            FieldRun {
+                                start: dst as u64 - col_starts[c],
+                                ..r
+                            },
+                        );
+                    }
+                    run_cur[c] += 1;
+                }
+            });
+        }
+
+        // Return the consumed tag buffers to the arena.
+        arena.put_u8("tag/symbols", tagged.symbols);
+        arena.put_u32("tag/col-tags", tagged.col_tags);
+        arena.put_u32("tag/rec-tags", tagged.rec_tags);
+        arena.put_vec("tag/runs", tagged.runs);
+
+        // Work counters — everything the kernel actually touches,
+        // including the (previously uncounted) histogram and prefix-scan
+        // work. Per symbol: the CSS byte both ways, plus the record tag
+        // (tagged mode) or delimiter flag (vector mode) — the mode
+        // traffic Figure 11 ranks. Per run: the run metadata through the
+        // histogram and scatter passes. The scans are serial.
+        let per_symbol: u64 = 1 + if want_rec_tags { 4 } else { 0 } + u64::from(want_flags);
+        let scan_cells = (num_workers * num_columns) as u64 * 2 + (num_columns + 1) as u64 * 2;
+        counters.kernel_launches = 2; // histogram + scatter
+        counters.bytes_read = n as u64 * per_symbol + 2 * num_runs as u64 * RUN_BYTES;
+        counters.bytes_written =
+            n as u64 * per_symbol + num_runs as u64 * RUN_BYTES + scan_cells * 8;
+        counters.parallel_ops = 2 * num_runs as u64 + n as u64;
+        counters.serial_ops = scan_cells;
+
+        Partitioned {
+            symbols,
+            rec_tags,
+            delim_flags: want_flags.then_some(flags_out),
+            col_starts,
+            runs: Some(ColumnRuns {
+                runs: out_runs,
+                col_starts: col_run_starts,
+            }),
+        }
+    })
+}
+
+/// The paper's original stable LSD radix sort on the column tags.
+fn partition_radix_sort(
     exec: &KernelExecutor,
     tagged: Tagged,
     num_columns: usize,
@@ -57,6 +264,7 @@ pub fn partition_by_column(
         col_starts.push(n as u64);
 
         let arena = exec.arena();
+        arena.put_vec("tag/runs", tagged.runs);
         let mode_bytes: u64;
         let mut keys = tagged.col_tags;
         let (symbols, rec_tags, delim_flags) =
@@ -132,17 +340,21 @@ pub fn partition_by_column(
         arena.put_u32("tag/col-tags", keys);
 
         // Each pass reads and writes (key + payload) for every item, plus
-        // the histogram/scan traffic.
-        counters.kernel_launches = 3 * passes;
-        counters.bytes_read = passes as u64 * n as u64 * mode_bytes;
-        counters.bytes_written = passes as u64 * n as u64 * mode_bytes;
-        counters.parallel_ops = passes as u64 * n as u64 * 2;
+        // the column-tag histogram and the (serial) offset scan — work
+        // that previously went uncounted.
+        counters.kernel_launches = 3 * passes + 1;
+        counters.bytes_read = passes as u64 * n as u64 * mode_bytes + n as u64 * 4;
+        counters.bytes_written =
+            passes as u64 * n as u64 * mode_bytes + (num_columns + 1) as u64 * 8;
+        counters.parallel_ops = passes as u64 * n as u64 * 2 + n as u64;
+        counters.serial_ops = (num_columns + 1) as u64;
 
         Partitioned {
             symbols,
             rec_tags,
             delim_flags,
             col_starts,
+            runs: None,
         }
     })
 }
@@ -167,6 +379,13 @@ impl Partitioned {
         self.delim_flags
             .as_ref()
             .map(|f| &f[self.col_starts[c] as usize..self.col_starts[c + 1] as usize])
+    }
+
+    /// The field runs of column `c` (run-scatter kernel only).
+    pub fn col_runs(&self, c: usize) -> Option<&[FieldRun]> {
+        self.runs
+            .as_ref()
+            .map(|r| &r.runs[r.col_starts[c] as usize..r.col_starts[c + 1] as usize])
     }
 
     /// Number of columns.
@@ -245,7 +464,8 @@ mod tests {
 
     #[test]
     fn many_columns_take_multiple_radix_passes() {
-        // 300 columns forces two 8-bit digits.
+        // 300 columns forces two 8-bit digits on the radix path; the
+        // run-scatter path is digit-free but must agree byte for byte.
         let cols = 300usize;
         let row: String = (0..cols)
             .map(|c| format!("{c}"))
@@ -253,10 +473,15 @@ mod tests {
             .join(",");
         let input = format!("{row}\n{row}\n");
         let (exec, t) = tag(input.as_bytes(), TaggingMode::RecordTagged, cols);
+        let radix =
+            partition_by_column_with(&exec, t.clone(), cols, PartitionKernel::RadixSort).unwrap();
         let p = partition_by_column(&exec, t, cols).unwrap();
         assert_eq!(p.css(0), b"00");
         assert_eq!(p.css(299), b"299299");
         assert_eq!(p.css(42), b"4242");
+        assert_eq!(p.symbols, radix.symbols);
+        assert_eq!(p.col_starts, radix.col_starts);
+        assert_eq!(p.rec_tags, radix.rec_tags);
     }
 
     #[test]
@@ -265,5 +490,54 @@ mod tests {
         let p = partition_by_column(&exec, t, 1).unwrap();
         assert_eq!(p.num_columns(), 1);
         assert!(p.css(0).is_empty());
+    }
+
+    #[test]
+    fn run_scatter_matches_radix_across_modes() {
+        let input = b"1941,199.99,\"Bookcase\"\n1938,19.99,\"Frame\n\"\"Ribba\"\", black\"\n";
+        let uniform = b"0,\"Apples\"\n1,\n2,\"Pears\"\n";
+        for (input, cols, mode) in [
+            (&input[..], 3, TaggingMode::RecordTagged),
+            (&uniform[..], 2, TaggingMode::RecordTagged),
+            (
+                &uniform[..],
+                2,
+                TaggingMode::InlineTerminated { terminator: 0 },
+            ),
+            (&uniform[..], 2, TaggingMode::VectorDelimited),
+        ] {
+            let (exec, t) = tag(input, mode, cols);
+            let radix =
+                partition_by_column_with(&exec, t.clone(), cols, PartitionKernel::RadixSort)
+                    .unwrap();
+            let scatter =
+                partition_by_column_with(&exec, t, cols, PartitionKernel::RunScatter).unwrap();
+            assert_eq!(scatter.symbols, radix.symbols, "{}", mode.name());
+            assert_eq!(scatter.col_starts, radix.col_starts, "{}", mode.name());
+            assert_eq!(scatter.rec_tags, radix.rec_tags, "{}", mode.name());
+            assert_eq!(scatter.delim_flags, radix.delim_flags, "{}", mode.name());
+            assert!(scatter.runs.is_some() && radix.runs.is_none());
+        }
+    }
+
+    #[test]
+    fn scattered_runs_are_css_relative_and_ordered() {
+        let input = b"1941,199.99,\"Bookcase\"\n1938,19.99,\"Frame\n\"\"Ribba\"\", black\"\n";
+        let (exec, t) = tag(input, TaggingMode::RecordTagged, 3);
+        let p = partition_by_column(&exec, t, 3).unwrap();
+        for c in 0..3 {
+            let runs = p.col_runs(c).unwrap();
+            let css_len = p.col_starts[c + 1] - p.col_starts[c];
+            let mut cursor = 0u64;
+            for r in runs {
+                assert_eq!(r.col as usize, c);
+                assert_eq!(r.start, cursor, "runs tile the CSS in order");
+                cursor += r.len;
+            }
+            assert_eq!(cursor, css_len, "runs cover column {c}'s CSS");
+        }
+        // Rows are non-decreasing within a column (input order preserved).
+        let rows: Vec<u32> = p.col_runs(1).unwrap().iter().map(|r| r.row).collect();
+        assert!(rows.windows(2).all(|w| w[0] <= w[1]));
     }
 }

@@ -8,7 +8,8 @@
 //!    scans;
 //! 3. **tag** — compaction of relevant symbols with their column/record
 //!    tags (mode-dependent, §4.1);
-//! 4. **partition** — stable radix sort into per-column CSSs;
+//! 4. **partition** — field-run scatter (or the paper's stable radix
+//!    sort) into per-column CSSs;
 //! 5. **convert** — CSS indexing, optional type inference, and typed
 //!    columnar materialisation.
 //!
@@ -20,13 +21,13 @@
 //! [`KernelExecutor`]: parparaw_parallel::KernelExecutor
 
 use crate::convert::convert_column_with_diags;
-use crate::css::{index_inline, index_record_tagged, index_vector, FieldIndex};
+use crate::css::{index_from_runs, index_inline, index_record_tagged, index_vector, FieldIndex};
 use crate::diag::{DiagSink, RecordDiagnostic, RejectReason};
 use crate::error::ParseError;
 use crate::infer::infer_column_type;
 use crate::meta::identify_columns_and_records;
-use crate::options::{ErrorPolicy, ParserOptions, TaggingMode};
-use crate::partition::partition_by_column;
+use crate::options::{ErrorPolicy, ParserOptions, PartitionKernel, TaggingMode};
+use crate::partition::partition_by_column_with;
 use crate::tagging::{tag_symbols, TagConfig};
 use crate::timings::{ParseOutput, ParseStats, PhaseTimings, SimulatedTimings};
 use parparaw_columnar::{DataType, Field, Schema, Table};
@@ -276,7 +277,8 @@ impl Parser {
             rejected: parparaw_parallel::Bitmap::new(0), // moved out above
             ..tagged
         };
-        let part = partition_by_column(exec, tagged_for_partition, num_out_cols)?;
+        let part =
+            partition_by_column_with(exec, tagged_for_partition, num_out_cols, o.partition_kernel)?;
 
         // Phase 5: indexing, inference, conversion — per-column launches
         // (the overhead the paper blames for small inputs, §5.1).
@@ -292,26 +294,43 @@ impl Parser {
         for (out_c, &raw_c) in selection.iter().enumerate() {
             let css = part.css(out_c);
             let index: FieldIndex = exec.launch("convert/index", css.len(), |grid, counters| {
-                let index = match o.tagging {
-                    TaggingMode::RecordTagged => {
-                        index_record_tagged(grid, part.css_rec_tags(out_c))
+                // The run-scatter kernel hands us the column's field runs,
+                // so the index falls out of a merge over run metadata — no
+                // per-byte scan over the CSS at all. The radix fallback
+                // has no runs and takes the original mode-specific scans.
+                let index = match part.col_runs(out_c) {
+                    Some(runs) => {
+                        let index = index_from_runs(runs);
+                        counters.kernel_launches = 1;
+                        counters.bytes_read = runs.len() as u64 * crate::tagging::RUN_BYTES;
+                        counters.parallel_ops = runs.len() as u64;
+                        index
                     }
-                    TaggingMode::InlineTerminated { terminator } => {
-                        index_inline(grid, css, terminator)
-                    }
-                    TaggingMode::VectorDelimited => {
-                        index_vector(grid, part.css_flags(out_c).expect("vector mode has flags"))
+                    None => {
+                        let index = match o.tagging {
+                            TaggingMode::RecordTagged => {
+                                index_record_tagged(grid, part.css_rec_tags(out_c))
+                            }
+                            TaggingMode::InlineTerminated { terminator } => {
+                                index_inline(grid, css, terminator)
+                            }
+                            TaggingMode::VectorDelimited => index_vector(
+                                grid,
+                                part.css_flags(out_c).expect("vector mode has flags"),
+                            ),
+                        };
+                        counters.kernel_launches = 3;
+                        counters.bytes_read = css.len() as u64
+                            + if matches!(o.tagging, TaggingMode::RecordTagged) {
+                                css.len() as u64 * 4
+                            } else {
+                                0
+                            };
+                        counters.parallel_ops = css.len() as u64;
+                        index
                     }
                 };
-                counters.kernel_launches = 3;
-                counters.bytes_read = css.len() as u64
-                    + if matches!(o.tagging, TaggingMode::RecordTagged) {
-                        css.len() as u64 * 4
-                    } else {
-                        0
-                    };
                 counters.bytes_written = index.num_fields() as u64 * 20;
-                counters.parallel_ops = css.len() as u64;
                 index
             })?;
             total_fields += index.num_fields() as u64;
@@ -373,14 +392,19 @@ impl Parser {
 
         // Conversion has copied everything it needs out of the CSSs, so
         // the partition outputs return to the arena for the next run.
-        // Inline mode's symbol buffer is the tag phase's own output riding
-        // through the sort, so it goes back under the tag label.
+        // Radix inline mode's symbol buffer is the tag phase's own output
+        // riding through the sort, so it goes back under the tag label.
         let arena = exec.arena();
-        match o.tagging {
-            TaggingMode::InlineTerminated { .. } => arena.put_u8("tag/symbols", part.symbols),
+        match (o.partition_kernel, o.tagging) {
+            (PartitionKernel::RadixSort, TaggingMode::InlineTerminated { .. }) => {
+                arena.put_u8("tag/symbols", part.symbols)
+            }
             _ => arena.put_u8("partition/symbols", part.symbols),
         }
         arena.put_u32("partition/rec-tags", part.rec_tags);
+        if let Some(runs) = part.runs {
+            arena.put_vec("partition/runs", runs.runs);
+        }
 
         // The budget also covers field-level conversion failures.
         if let Some(max) = o.max_rejects {
@@ -539,6 +563,15 @@ mod tests {
             .unwrap();
             assert_eq!(out.table, reference.table, "{:?}", mode);
         }
+    }
+
+    #[test]
+    fn partition_kernels_agree_end_to_end() {
+        let input = b"a,\"b\nb\",3.5\n,x,\n\"q\"\"q\",y,9\ntail,t,1";
+        let reference = parse_csv(input, opts()).unwrap();
+        let radix = parse_csv(input, opts().partition_kernel(PartitionKernel::RadixSort)).unwrap();
+        assert_eq!(radix.table, reference.table);
+        assert_eq!(radix.rejected, reference.rejected);
     }
 
     #[test]

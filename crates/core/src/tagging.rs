@@ -61,8 +61,35 @@ impl TagConfig<'_> {
     }
 }
 
+/// One run of consecutive emitted symbols belonging to a single field.
+///
+/// The paper's §3.3 observation that column tags are constant across each
+/// field's symbols means the tag phase can describe its output at field
+/// granularity: every emitted symbol extends the current `(row, column)`
+/// run or opens a new one. `start` indexes the *compacted* tagged symbol
+/// array (not the raw input — control symbols such as enclosure quotes
+/// are never emitted, so a field's raw bytes need not be contiguous).
+/// A field split across chunk boundaries yields several adjacent runs
+/// with the same row, merged back by [`crate::css::index_from_runs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldRun {
+    /// Output column tag.
+    pub col: u32,
+    /// Output row.
+    pub row: u32,
+    /// Start offset into the tagged symbol array (global in [`Tagged`];
+    /// CSS-relative after partitioning).
+    pub start: u64,
+    /// Number of symbols in the run.
+    pub len: u64,
+    /// True when the run's last symbol is the field's terminator or
+    /// delimiter (inline/vector modes; the field's data excludes it).
+    /// Record-tagged mode never emits delimiters, so always false there.
+    pub closed: bool,
+}
+
 /// The tagging output: the compacted symbol stream plus tags.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Tagged {
     /// Relevant symbols, in input order (delimiters included in
     /// inline/vector modes, replaced by the terminator in inline mode).
@@ -74,6 +101,10 @@ pub struct Tagged {
     pub rec_tags: Vec<u32>,
     /// Auxiliary delimiter flags (vector-delimited mode only).
     pub delim_flags: Option<Vec<bool>>,
+    /// Per-field runs over `symbols`, in input order (all modes). One
+    /// pass of field-granular metadata that the run-scatter partition
+    /// kernel moves whole fields with.
+    pub runs: Vec<FieldRun>,
     /// Per-output-row rejection flags.
     pub rejected: Bitmap,
     /// True when inline mode found the terminator byte inside field data.
@@ -81,13 +112,15 @@ pub struct Tagged {
 }
 
 /// Destination writers for one chunk's emission: symbols, column tags,
-/// optional row tags, optional delimiter flags, and the chunk's base
-/// offset into each of them.
+/// optional row tags, optional delimiter flags, the field-run array, and
+/// the chunk's base offsets into the symbol and run arrays.
 type EmitSinks<'a> = (
     &'a SlotWriter<'a, u8>,
     &'a SlotWriter<'a, u32>,
     Option<&'a SlotWriter<'a, u32>>,
     Option<&'a SlotWriter<'a, bool>>,
+    &'a SlotWriter<'a, FieldRun>,
+    usize,
     usize,
 );
 
@@ -115,12 +148,16 @@ pub fn tag_symbols(
     let rejected = AtomicBitmap::new(cfg.num_out_rows as usize);
     let clash = AtomicBool::new(false);
 
-    // Shared chunk walker. `emit(pos_in_chunk_emission, byte, out_col,
-    // out_row, is_delim)` is called for every relevant symbol.
-    let walk = |c: usize, mut emit: Option<EmitSinks<'_>>, mark: bool| -> u64 {
+    // Shared chunk walker: every relevant symbol is written through the
+    // sinks (pass B) or merely counted (pass A), and simultaneously
+    // extends or opens the current field run. Returns the chunk's
+    // (symbol, run) emission counts.
+    let walk = |c: usize, emit: Option<EmitSinks<'_>>, mark: bool| -> (u64, u64) {
         let mut rec = meta.record_offsets[c];
         let mut col = meta.col_offsets[c];
         let mut count = 0u64;
+        let mut cur_run: Option<FieldRun> = None;
+        let mut runs_flushed = 0u64;
         for i in ranges[c].clone() {
             let b = input[i];
             let is_rec = meta.records.get(i);
@@ -145,7 +182,7 @@ pub fn tag_symbols(
                 // The delimiter ends the field at (rec, col).
                 if include_delims {
                     if let Some((r, oc)) = cfg.out_row(rec).zip(map_col(cfg.col_map, col)) {
-                        if let Some((sym, ct, rt, fl, base)) = emit.as_mut() {
+                        if let Some((sym, ct, rt, fl, _, base, _)) = emit.as_ref() {
                             let dst = *base + count as usize;
                             let byte_out = terminator.unwrap_or(b);
                             unsafe {
@@ -159,6 +196,15 @@ pub fn tag_symbols(
                                 }
                             }
                         }
+                        track_run(
+                            &mut cur_run,
+                            &mut runs_flushed,
+                            emit.as_ref(),
+                            oc,
+                            r as u32,
+                            count,
+                            true,
+                        );
                         count += 1;
                     }
                 }
@@ -199,7 +245,7 @@ pub fn tag_symbols(
                 }
                 let kept = cfg.out_row(rec).zip(map_col(cfg.col_map, col));
                 if let Some((r, oc)) = kept {
-                    if let Some((sym, ct, rt, fl, base)) = emit.as_mut() {
+                    if let Some((sym, ct, rt, fl, _, base, _)) = emit.as_ref() {
                         let dst = *base + count as usize;
                         unsafe {
                             sym.write(dst, b);
@@ -212,64 +258,162 @@ pub fn tag_symbols(
                             }
                         }
                     }
+                    track_run(
+                        &mut cur_run,
+                        &mut runs_flushed,
+                        emit.as_ref(),
+                        oc,
+                        r as u32,
+                        count,
+                        false,
+                    );
                     count += 1;
                 }
             }
         }
-        count
+        flush_run(&mut cur_run, &mut runs_flushed, emit.as_ref());
+        (count, runs_flushed)
     };
 
     let want_rec_tags = matches!(cfg.mode, TaggingMode::RecordTagged);
     let want_flags = matches!(cfg.mode, TaggingMode::VectorDelimited);
 
-    let (symbols, col_tags, rec_tags, flags) = exec.launch("tag", n_chunks, |grid, counters| {
-        // Pass A: count emissions (and mark rejects / clashes once).
-        let counts: Vec<u64> = grid.map_indexed(n_chunks, |c| walk(c, None, true));
-        let (offsets, total) = scan::exclusive_scan_total(grid, &counts, &scan::AddOp);
-        let total = total as usize;
+    let (symbols, col_tags, rec_tags, flags, runs) =
+        exec.launch("tag", n_chunks, |grid, counters| {
+            // Pass A: count symbol and run emissions (and mark rejects /
+            // clashes once).
+            let counts: Vec<(u64, u64)> = grid.map_indexed(n_chunks, |c| walk(c, None, true));
+            let sym_counts: Vec<u64> = counts.iter().map(|c| c.0).collect();
+            let run_counts: Vec<u64> = counts.iter().map(|c| c.1).collect();
+            let (offsets, total) = scan::exclusive_scan_total(grid, &sym_counts, &scan::AddOp);
+            let (run_offsets, runs_total) =
+                scan::exclusive_scan_total(grid, &run_counts, &scan::AddOp);
+            let total = total as usize;
+            let runs_total = runs_total as usize;
 
-        // Pass B: emit into pre-sized arena-backed arrays.
-        let arena = exec.arena();
-        let mut symbols = arena.take_u8("tag/symbols");
-        symbols.resize(total, 0);
-        let mut col_tags = arena.take_u32("tag/col-tags");
-        col_tags.resize(total, 0);
-        let mut rec_tags = arena.take_u32("tag/rec-tags");
-        rec_tags.resize(if want_rec_tags { total } else { 0 }, 0);
-        let mut flags = vec![false; if want_flags { total } else { 0 }];
-        {
-            let sym_w = SlotWriter::new(&mut symbols);
-            let ct_w = SlotWriter::new(&mut col_tags);
-            let rt_w = SlotWriter::new(&mut rec_tags);
-            let fl_w = SlotWriter::new(&mut flags);
-            grid.run_partitioned(n_chunks, |_, range| {
-                for c in range {
-                    let rt = want_rec_tags.then_some(&rt_w);
-                    let fl = want_flags.then_some(&fl_w);
-                    walk(c, Some((&sym_w, &ct_w, rt, fl, offsets[c] as usize)), false);
-                }
-            });
-        }
+            // Pass B: emit into pre-sized arena-backed arrays.
+            let arena = exec.arena();
+            let mut symbols = arena.take_u8("tag/symbols");
+            symbols.resize(total, 0);
+            let mut col_tags = arena.take_u32("tag/col-tags");
+            col_tags.resize(total, 0);
+            let mut rec_tags = arena.take_u32("tag/rec-tags");
+            rec_tags.resize(if want_rec_tags { total } else { 0 }, 0);
+            let mut flags = vec![false; if want_flags { total } else { 0 }];
+            let empty_run = FieldRun {
+                col: 0,
+                row: 0,
+                start: 0,
+                len: 0,
+                closed: false,
+            };
+            let mut runs = arena.take_vec::<FieldRun>("tag/runs");
+            runs.clear();
+            runs.resize(runs_total, empty_run);
+            {
+                let sym_w = SlotWriter::new(&mut symbols);
+                let ct_w = SlotWriter::new(&mut col_tags);
+                let rt_w = SlotWriter::new(&mut rec_tags);
+                let fl_w = SlotWriter::new(&mut flags);
+                let run_w = SlotWriter::new(&mut runs);
+                grid.run_partitioned(n_chunks, |_, range| {
+                    for c in range {
+                        let rt = want_rec_tags.then_some(&rt_w);
+                        let fl = want_flags.then_some(&fl_w);
+                        walk(
+                            c,
+                            Some((
+                                &sym_w,
+                                &ct_w,
+                                rt,
+                                fl,
+                                &run_w,
+                                offsets[c] as usize,
+                                run_offsets[c] as usize,
+                            )),
+                            false,
+                        );
+                    }
+                });
+            }
 
-        // Work counters: two passes over the input plus the emission writes.
-        let per_symbol_out =
-            1 + 4 + if want_rec_tags { 4 } else { 0 } + if want_flags { 1 } else { 0 };
-        counters.kernel_launches = 2;
-        counters.bytes_read = 2 * (n as u64 + n as u64 / 2); // input + bitmaps, twice
-        counters.bytes_written = total as u64 * per_symbol_out as u64;
-        counters.parallel_ops = 2 * n as u64;
+            // Work counters: two passes over the input plus the emission
+            // writes (symbols, tags, and the field-run metadata).
+            let per_symbol_out =
+                1 + 4 + if want_rec_tags { 4 } else { 0 } + if want_flags { 1 } else { 0 };
+            counters.kernel_launches = 2;
+            counters.bytes_read = 2 * (n as u64 + n as u64 / 2); // input + bitmaps, twice
+            counters.bytes_written =
+                total as u64 * per_symbol_out as u64 + runs_total as u64 * RUN_BYTES;
+            counters.parallel_ops = 2 * n as u64;
 
-        (symbols, col_tags, rec_tags, flags)
-    })?;
+            (symbols, col_tags, rec_tags, flags, runs)
+        })?;
 
     Ok(Tagged {
         symbols,
         col_tags,
         rec_tags,
         delim_flags: want_flags.then_some(flags),
+        runs,
         rejected: rejected.into_bitmap(),
         terminator_clash: clash.load(Ordering::Relaxed),
     })
+}
+
+/// Cost-model size of one [`FieldRun`] (col + row + start + len + closed).
+pub(crate) const RUN_BYTES: u64 = 25;
+
+/// Extend the current field run with one emitted symbol at emission
+/// position `count`, or flush it and open a new one when the `(col, row)`
+/// changes (or the previous run was closed by a delimiter).
+#[inline]
+fn track_run(
+    cur: &mut Option<FieldRun>,
+    flushed: &mut u64,
+    emit: Option<&EmitSinks<'_>>,
+    col: u32,
+    row: u32,
+    count: u64,
+    is_delim: bool,
+) {
+    match cur {
+        Some(run) if run.col == col && run.row == row && !run.closed => {
+            run.len += 1;
+            run.closed = is_delim;
+        }
+        _ => {
+            flush_run(cur, flushed, emit);
+            *cur = Some(FieldRun {
+                col,
+                row,
+                start: count,
+                len: 1,
+                closed: is_delim,
+            });
+        }
+    }
+}
+
+/// Write the pending run (if any) to the run sink, rebasing its
+/// chunk-local start to the global tagged-array offset.
+#[inline]
+fn flush_run(cur: &mut Option<FieldRun>, flushed: &mut u64, emit: Option<&EmitSinks<'_>>) {
+    if let Some(run) = cur.take() {
+        if let Some((_, _, _, _, run_w, base, run_base)) = emit {
+            let dst = *run_base + *flushed as usize;
+            unsafe {
+                run_w.write(
+                    dst,
+                    FieldRun {
+                        start: *base as u64 + run.start,
+                        ..run
+                    },
+                )
+            };
+        }
+        *flushed += 1;
+    }
 }
 
 #[inline]

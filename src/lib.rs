@@ -35,7 +35,7 @@ pub mod prelude {
     pub use parparaw_columnar::{Column, DataType, Field, Schema, Table, Value};
     pub use parparaw_core::{
         parse_csv, ErrorPolicy, FaultInjection, ParseError, ParseOutput, Parser, ParserOptions,
-        RecordDiagnostic, RejectReason, TaggingMode,
+        PartitionKernel, RecordDiagnostic, RejectReason, TaggingMode,
     };
     pub use parparaw_dfa::csv::{rfc4180, CsvDialect};
     pub use parparaw_dfa::{Dfa, DfaBuilder};

@@ -35,7 +35,35 @@ fn generators() -> Vec<(&'static str, Vec<u8>, bool)> {
             adversarial::unicode_heavy(TARGET_BYTES, SEED + 4),
             true,
         ),
+        ("single_column", single_column(TARGET_BYTES), true),
+        // 300 columns per record crosses the radix partition kernel's
+        // one-digit/two-digit key boundary (256).
+        ("wide_300_columns", wide_columns(TARGET_BYTES, 300), true),
     ]
+}
+
+/// Exactly one column per record: the degenerate partition case (every
+/// symbol lands in column 0, a single field run per record).
+fn single_column(bytes: usize) -> Vec<u8> {
+    let mut v = Vec::new();
+    let mut i = 0u64;
+    while v.len() < bytes {
+        v.extend_from_slice(format!("value{i}\n").as_bytes());
+        i += 1;
+    }
+    v
+}
+
+/// `cols` single-byte fields per record — kept short so one streaming
+/// partition always spans at least one full record.
+fn wide_columns(bytes: usize, cols: usize) -> Vec<u8> {
+    let row = vec!["x"; cols].join(",");
+    let mut v = Vec::new();
+    while v.len() < bytes {
+        v.extend_from_slice(row.as_bytes());
+        v.push(b'\n');
+    }
+    v
 }
 
 fn modes() -> [TaggingMode; 3] {
@@ -126,6 +154,51 @@ fn matrix_streaming_matches_monolithic() {
         );
         if streamed.table.schema() == mono.table.schema() {
             assert_eq!(streamed.table, mono.table, "{name}");
+        }
+    }
+}
+
+#[test]
+fn partition_kernels_byte_identical_across_modes_and_launch_modes() {
+    // The run-scatter kernel must reproduce the radix sort's ParseOutput
+    // exactly — same table bytes, same reject bitmap — for every
+    // generator, all three tagging modes, and both launch modes.
+    use parparaw::parallel::LaunchMode;
+    for (name, input, consistent) in generators() {
+        for mode in modes() {
+            if !consistent && !matches!(mode, TaggingMode::RecordTagged) {
+                continue;
+            }
+            for lm in [LaunchMode::Persistent, LaunchMode::SpawnPerLaunch] {
+                let base = ParserOptions {
+                    grid: Grid::with_mode(3, lm),
+                    tagging: mode,
+                    ..ParserOptions::default()
+                }
+                .chunk_size(29);
+                let dfa = rfc4180(&CsvDialect::default());
+                let scatter = Parser::new(
+                    dfa.clone(),
+                    base.clone().partition_kernel(PartitionKernel::RunScatter),
+                )
+                .parse(&input)
+                .unwrap_or_else(|e| panic!("{name} mode={} {lm:?}: {e}", mode.name()));
+                let radix = Parser::new(dfa, base.partition_kernel(PartitionKernel::RadixSort))
+                    .parse(&input)
+                    .unwrap_or_else(|e| panic!("{name} mode={} {lm:?}: {e}", mode.name()));
+                assert_eq!(
+                    scatter.table,
+                    radix.table,
+                    "{name} mode={} {lm:?}",
+                    mode.name()
+                );
+                assert_eq!(
+                    scatter.rejected,
+                    radix.rejected,
+                    "{name} mode={} {lm:?}",
+                    mode.name()
+                );
+            }
         }
     }
 }
