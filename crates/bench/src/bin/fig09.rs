@@ -1,12 +1,15 @@
 //! Regenerate paper Figure 9: per-step duration vs chunk size.
 //!
 //! Usage: `cargo run --release -p parparaw-bench --bin fig09
-//! [--bytes 48M] [--workers N] [--json]`
+//! [--bytes 48M] [--workers N] [--cancel-bytes 16M] [--json]`
 //!
 //! With `--json`, also writes `BENCH_pipeline.json` to the working
 //! directory: per chunk size and dataset, wall/simulated milliseconds and
 //! bytes-per-second for every phase, plus isolated pass-1/pass-2 wall
-//! timings (the numbers EXPERIMENTS.md tracks across optimisations).
+//! timings (the numbers EXPERIMENTS.md tracks across optimisations) and
+//! the cancellation-overhead guard (a never-fired `CancelToken` vs the
+//! token-free path on `--cancel-bytes` of yelp data; CI asserts the
+//! overhead stays under 3%).
 
 use parparaw_bench::datasets::Dataset;
 use parparaw_bench::{arg_flag, arg_size, fig09};
@@ -14,6 +17,7 @@ use parparaw_bench::{arg_flag, arg_size, fig09};
 fn main() {
     let bytes = arg_size("--bytes", 16 << 20);
     let workers = arg_size("--workers", 1);
+    let cancel_bytes = arg_size("--cancel-bytes", 16 << 20);
     let json = arg_flag("--json");
     let mut results = Vec::new();
     for dataset in Dataset::ALL {
@@ -21,9 +25,14 @@ fn main() {
         println!("{}", fig09::print(dataset, &rows));
         results.push((dataset, rows));
     }
+    let cancel = fig09::cancel_overhead(Dataset::Yelp, cancel_bytes, workers);
+    println!(
+        "cancel-token overhead ({} bytes yelp): baseline {:.2} ms, with token {:.2} ms ({:+.2}%)",
+        cancel.bytes, cancel.baseline_ms, cancel.with_token_ms, cancel.overhead_pct
+    );
     if json {
         let path = "BENCH_pipeline.json";
-        std::fs::write(path, fig09::to_json(bytes, workers, &results))
+        std::fs::write(path, fig09::to_json(bytes, workers, &results, &cancel))
             .expect("write BENCH_pipeline.json");
         println!("wrote {path}");
     }

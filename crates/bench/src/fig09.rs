@@ -17,7 +17,7 @@ use parparaw_core::partition::partition_by_column_with;
 use parparaw_core::tagging::{tag_symbols, TagConfig};
 use parparaw_core::{parse_csv, ParserOptions};
 use parparaw_dfa::csv::{rfc4180, CsvDialect};
-use parparaw_parallel::{Bitmap, Grid, KernelExecutor};
+use parparaw_parallel::{Bitmap, CancelToken, Grid, KernelExecutor};
 
 /// The paper's sweep points.
 pub const CHUNK_SIZES: [usize; 8] = [4, 8, 16, 24, 31, 32, 48, 64];
@@ -169,11 +169,76 @@ pub fn run(dataset: Dataset, bytes: usize, workers: usize) -> Vec<Row> {
         .collect()
 }
 
+/// The cancellation-overhead guard: the cost of parsing with a
+/// present-but-never-fired [`CancelToken`] relative to the token-free
+/// path, at the paper's default 31-byte chunks. The token arms the
+/// cooperative abort signal in every kernel (one predictable branch per
+/// 256 chunks), so this must stay in the noise; CI asserts
+/// `overhead_pct < 3`.
+#[derive(Debug, Clone)]
+pub struct CancelOverhead {
+    /// Dataset the guard ran on.
+    pub dataset: Dataset,
+    /// Input bytes parsed per repetition.
+    pub bytes: usize,
+    /// Best-of-reps wall ms without a token.
+    pub baseline_ms: f64,
+    /// Best-of-reps wall ms with an armed, never-fired token.
+    pub with_token_ms: f64,
+    /// `(with_token - baseline) / baseline * 100` (negative = noise).
+    pub overhead_pct: f64,
+}
+
+/// Measure [`CancelOverhead`] on `dataset` at `bytes`.
+pub fn cancel_overhead(dataset: Dataset, bytes: usize, workers: usize) -> CancelOverhead {
+    let data = dataset.generate(bytes);
+    let schema = dataset.schema();
+    let opts = |token: Option<CancelToken>| {
+        let mut o = ParserOptions {
+            grid: Grid::new(workers),
+            schema: Some(schema.clone()),
+            ..ParserOptions::default()
+        };
+        o.cancel = token;
+        o
+    };
+    let reps = 5;
+    let baseline_ms = bench_ms(reps, || {
+        parse_csv(&data, opts(None))
+            .expect("dataset parses")
+            .stats
+            .num_records
+    });
+    let token = CancelToken::new();
+    let with_token_ms = bench_ms(reps, || {
+        parse_csv(&data, opts(Some(token.clone())))
+            .expect("dataset parses")
+            .stats
+            .num_records
+    });
+    CancelOverhead {
+        dataset,
+        bytes,
+        baseline_ms,
+        with_token_ms,
+        overhead_pct: if baseline_ms > 0.0 {
+            (with_token_ms - baseline_ms) / baseline_ms * 100.0
+        } else {
+            0.0
+        },
+    }
+}
+
 /// Render the whole sweep (all datasets) as the `BENCH_pipeline.json`
 /// machine-readable report: per phase, wall and simulated milliseconds
 /// plus the implied bytes-per-second rate, and the isolated pass-1/pass-2
 /// wall timings used for speedup tracking.
-pub fn to_json(bytes: usize, workers: usize, results: &[(Dataset, Vec<Row>)]) -> String {
+pub fn to_json(
+    bytes: usize,
+    workers: usize,
+    results: &[(Dataset, Vec<Row>)],
+    cancel: &CancelOverhead,
+) -> String {
     use report::{json_num, json_str};
     let rate = |ms: f64| {
         json_num(if ms > 0.0 {
@@ -192,6 +257,15 @@ pub fn to_json(bytes: usize, workers: usize, results: &[(Dataset, Vec<Row>)]) ->
         json_str(crate::launch_mode_name())
     ));
     out.push_str("  \"default_chunk_size\": 31,\n");
+    out.push_str(&format!(
+        "  \"cancel_overhead\": {{ \"dataset\": {}, \"bytes\": {}, \"baseline_ms\": {}, \
+         \"with_token_ms\": {}, \"cancel_overhead_pct\": {} }},\n",
+        json_str(cancel.dataset.short()),
+        cancel.bytes,
+        json_num(cancel.baseline_ms),
+        json_num(cancel.with_token_ms),
+        json_num(cancel.overhead_pct),
+    ));
     out.push_str("  \"datasets\": [\n");
     for (di, (dataset, rows)) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -300,8 +374,12 @@ mod tests {
         assert!(text.contains("31"));
         // The JSON report carries every row with per-phase rates and the
         // isolated pass timings, with balanced structure.
-        let json = to_json(200_000, 2, &[(Dataset::Taxi, rows)]);
+        let cancel = cancel_overhead(Dataset::Yelp, 100_000, 2);
+        assert!(cancel.baseline_ms > 0.0 && cancel.with_token_ms > 0.0);
+        assert!(cancel.overhead_pct.is_finite());
+        let json = to_json(200_000, 2, &[(Dataset::Taxi, rows)], &cancel);
         assert!(json.contains("\"harness\": \"fig09\""));
+        assert!(json.contains("\"cancel_overhead_pct\""));
         assert!(json.contains("\"pass1_wall_ms\""));
         assert!(json.contains("\"partition_wall_ms\""));
         assert!(json.contains("\"partition_radix_wall_ms\""));

@@ -494,6 +494,7 @@ fn convert_fixed(
                 let bw = SlotWriter::new(&mut buf);
                 grid.run_partitioned(index.num_fields(), |_, range| {
                     for k in range {
+                        grid.check_abort(k);
                         let row = index.rows[k] as usize;
                         if row >= num_rows {
                             continue;
@@ -636,6 +637,7 @@ fn convert_utf8(
         let fw = SlotWriter::new(&mut field_of_row);
         grid.run_partitioned(index.num_fields(), |_, range| {
             for k in range {
+                grid.check_abort(k);
                 let row = index.rows[k] as usize;
                 if row < num_rows {
                     unsafe { fw.write(row, k as u32) };
@@ -779,6 +781,7 @@ where
         grid.run_partitioned(n, |w, range| {
             let mut local = Vec::new();
             for i in range {
+                grid.check_abort(i);
                 if let Some(x) = f(i) {
                     local.push(x);
                 }

@@ -120,6 +120,7 @@ where
         let mw = SlotWriter::new(&mut marks);
         grid.run_partitioned(n, |_, range| {
             for i in range {
+                grid.check_abort(i);
                 if flags[i] == 1 {
                     unsafe { mw.write(slots[i] as usize, i as u64) };
                 }

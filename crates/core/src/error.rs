@@ -59,6 +59,32 @@ pub enum ParseError {
         /// The configured budget.
         max_rejects: u64,
     },
+    /// The arena memory budget kept being exceeded after the streaming
+    /// path had already degraded its partition size to the floor. Only
+    /// surfaced under [`ErrorPolicy::Strict`](crate::options::ErrorPolicy::Strict);
+    /// the permissive policy keeps parsing at the floor (the budget is
+    /// advisory there, recorded as degradations in
+    /// [`PartitionReport`](crate::streaming::PartitionReport)).
+    MemoryBudgetExceeded {
+        /// The configured arena budget in bytes.
+        budget_bytes: u64,
+        /// The partition size in effect when the floor was hit.
+        partition_size: usize,
+    },
+}
+
+impl ParseError {
+    /// Whether this error reports a fired
+    /// [`CancelToken`](parparaw_parallel::CancelToken).
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ParseError::Launch(e) if e.is_cancelled())
+    }
+
+    /// Whether this error reports an expired launch deadline (after
+    /// retries and relaunch recovery were exhausted).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, ParseError::Launch(e) if e.is_timeout())
+    }
 }
 
 impl From<LaunchError> for ParseError {
@@ -101,6 +127,14 @@ impl std::fmt::Display for ParseError {
             } => write!(
                 f,
                 "{rejects} rejected records exceed the max_rejects budget of {max_rejects}"
+            ),
+            ParseError::MemoryBudgetExceeded {
+                budget_bytes,
+                partition_size,
+            } => write!(
+                f,
+                "arena memory budget of {budget_bytes} bytes still exceeded at \
+                 the partition-size floor ({partition_size} bytes)"
             ),
         }
     }

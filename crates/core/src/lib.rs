@@ -78,5 +78,7 @@ pub use options::{
     ErrorPolicy, FaultInjection, ParserOptions, PartitionKernel, ScanAlgorithm, TaggingMode,
 };
 pub use pipeline::{parse_csv, Parser};
-pub use streaming::{PartitionIter, PartitionReport, StreamedOutput};
+pub use streaming::{
+    Checkpoint, PartitionIter, PartitionReport, StreamInterrupted, StreamedOutput,
+};
 pub use timings::{ParseOutput, ParseStats, PhaseTimings, SimulatedTimings};

@@ -2,8 +2,9 @@
 
 use parparaw_columnar::Schema;
 use parparaw_device::DeviceConfig;
-use parparaw_parallel::{Grid, KernelExecutor, RetryPolicy};
+use parparaw_parallel::{CancelToken, Grid, KernelExecutor, RetryPolicy};
 use std::collections::HashSet;
+use std::time::Duration;
 
 /// What to do when a record fails validation (paper §4.3's "rejection of
 /// malformed fields", made configurable).
@@ -41,14 +42,40 @@ impl ErrorPolicy {
 }
 
 /// Deterministic fault injection for testing the retry path: each kernel
-/// launch attempt fails with probability `rate`, driven by a
+/// launch attempt faults with probability `rate`, driven by a
 /// SplitMix64 stream seeded with `seed` (same seed → same faults).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultInjection {
     /// PRNG seed.
     pub seed: u64,
-    /// Probability in `[0, 1]` that a launch attempt fails.
+    /// Probability in `[0, 1]` that a launch attempt faults.
     pub rate: f64,
+    /// `None` (the default): a firing fault fails the attempt before the
+    /// job runs, exercising the retry ladder. `Some(d)`: a firing fault
+    /// instead *stalls* the attempt by `d` inside the launch window, so
+    /// with [`ParserOptions::launch_deadline`] set the watchdog sees a
+    /// hung kernel — the deterministic way to test the timeout path.
+    pub stall: Option<Duration>,
+}
+
+impl FaultInjection {
+    /// Panic-mode injection at `rate`, seeded.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        FaultInjection {
+            seed,
+            rate,
+            stall: None,
+        }
+    }
+
+    /// Stall-mode injection: `rate` of attempts sleep for `stall`.
+    pub fn stalls(seed: u64, rate: f64, stall: Duration) -> Self {
+        FaultInjection {
+            seed,
+            rate,
+            stall: Some(stall),
+        }
+    }
 }
 
 /// How symbols are associated with their field after partitioning
@@ -188,6 +215,23 @@ pub struct ParserOptions {
     pub retry: RetryPolicy,
     /// Optional deterministic fault injection, for testing retries.
     pub fault_injection: Option<FaultInjection>,
+    /// Cancellation token: fire it from any thread to abort the parse
+    /// mid-flight. Kernels poll it at chunk granularity; the parse
+    /// surfaces [`crate::ParseError::Launch`] with a `Cancelled` kind
+    /// (see [`crate::ParseError::is_cancelled`]), and streaming parses
+    /// return a [`crate::streaming::Checkpoint`] to resume from.
+    pub cancel: Option<CancelToken>,
+    /// Per-launch deadline enforced by a watchdog thread. An attempt
+    /// running past it unwinds cooperatively and is retried per `retry`
+    /// (retry → degrade-to-spawn → fail), with expiries counted in
+    /// [`crate::PhaseTimings::timeouts`]. `None` (default) = unbounded.
+    pub launch_deadline: Option<Duration>,
+    /// Byte cap for the executor's scratch [`parparaw_parallel::BufferArena`].
+    /// Under pressure the streaming path halves its partition size down
+    /// to a floor instead of pooling past the cap; at the floor, Strict
+    /// errors with [`crate::ParseError::MemoryBudgetExceeded`] while
+    /// Permissive keeps going. `None` (default) = unlimited.
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for ParserOptions {
@@ -212,6 +256,9 @@ impl Default for ParserOptions {
             max_rejects: None,
             retry: RetryPolicy::default(),
             fault_injection: None,
+            cancel: None,
+            launch_deadline: None,
+            memory_budget: None,
         }
     }
 }
@@ -267,6 +314,24 @@ impl ParserOptions {
         self
     }
 
+    /// Builder-style cancellation token (keep a clone to fire it).
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Builder-style per-launch deadline.
+    pub fn launch_deadline(mut self, deadline: Duration) -> Self {
+        self.launch_deadline = Some(deadline);
+        self
+    }
+
+    /// Builder-style arena memory budget in bytes.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
     /// The effective collaboration threshold.
     pub fn effective_collaboration_threshold(&self) -> usize {
         self.collaboration_threshold
@@ -274,11 +339,24 @@ impl ParserOptions {
     }
 
     /// Build a [`KernelExecutor`] configured with this options' grid,
-    /// retry policy, and (if set) fault injector.
+    /// retry policy, and (if set) fault injector, cancellation token,
+    /// launch deadline, and arena budget.
     pub fn build_executor(&self) -> KernelExecutor {
         let mut exec = KernelExecutor::new(self.grid.clone()).with_retry(self.retry);
         if let Some(fi) = self.fault_injection {
-            exec = exec.with_fault_injection(fi.seed, fi.rate);
+            exec = match fi.stall {
+                None => exec.with_fault_injection(fi.seed, fi.rate),
+                Some(stall) => exec.with_stall_injection(fi.seed, fi.rate, stall),
+            };
+        }
+        if let Some(token) = &self.cancel {
+            exec = exec.with_cancel(token.clone());
+        }
+        if let Some(deadline) = self.launch_deadline {
+            exec = exec.with_deadline(deadline);
+        }
+        if let Some(budget) = self.memory_budget {
+            exec = exec.with_arena_budget(budget);
         }
         exec
     }
@@ -324,10 +402,7 @@ mod tests {
     fn executor_reflects_fault_options() {
         let o = ParserOptions {
             retry: RetryPolicy::attempts(5),
-            fault_injection: Some(FaultInjection {
-                seed: 42,
-                rate: 0.25,
-            }),
+            fault_injection: Some(FaultInjection::new(42, 0.25)),
             ..ParserOptions::default()
         };
         let exec = o.build_executor();

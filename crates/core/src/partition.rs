@@ -119,6 +119,7 @@ fn partition_run_scatter(
                 let mut run_hist = vec![0u64; num_columns];
                 let mut sym_hist = vec![0u64; num_columns];
                 for i in range {
+                    grid.check_abort(i);
                     let r = &in_runs[i];
                     run_hist[r.col as usize] += 1;
                     sym_hist[r.col as usize] += r.len;
@@ -182,6 +183,7 @@ fn partition_run_scatter(
                 let mut sym_cur = sym_cursors[w].clone();
                 let mut run_cur = run_cursors[w].clone();
                 for i in range {
+                    grid.check_abort(i);
                     let r = in_runs[i];
                     let c = r.col as usize;
                     let (src, len) = (r.start as usize, r.len as usize);

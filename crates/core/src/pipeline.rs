@@ -97,8 +97,9 @@ impl Parser {
             return Err(ParseError::SkipRowsInStreaming);
         }
         // Leftover records from an aborted earlier run must not leak into
-        // this run's timings.
+        // this run's timings, and arena hit/miss stats report per run.
         let _ = exec.drain_log();
+        exec.arena().reset_stats();
 
         // Phase 0 (optional): prune skipped rows before anything else
         // (paper §4.3 — removing rows changes the parsing context of
@@ -786,9 +787,12 @@ mod tests {
         let exec = KernelExecutor::new(Grid::new(2));
         parser.parse_with(&exec, input, false).unwrap();
         let (_, misses_first) = exec.arena().stats();
+        assert!(misses_first > 0, "first run allocates fresh");
         parser.parse_with(&exec, input, false).unwrap();
+        // Stats reset at the start of each run, so the second run's
+        // counters stand alone: all takes hit, nothing allocated.
         let (hits, misses_second) = exec.arena().stats();
-        assert_eq!(misses_second, misses_first, "second run allocated fresh");
+        assert_eq!(misses_second, 0, "second run allocated fresh");
         assert!(hits >= 5, "expected the second run's takes to hit: {hits}");
     }
 

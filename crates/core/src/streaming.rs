@@ -19,14 +19,21 @@
 
 use crate::diag::RecordDiagnostic;
 use crate::error::ParseError;
+use crate::options::ErrorPolicy;
 use crate::pipeline::Parser;
 use crate::timings::ParseOutput;
 use parparaw_columnar::{Schema, Table};
 use parparaw_device::streaming::PartitionCost;
 use parparaw_device::{CostModel, PcieLink, StreamingPlan};
 use parparaw_parallel::{Grid, KernelExecutor, LaunchMode};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::time::{Duration, Instant};
+
+/// The partition-size degradation floor: under arena budget pressure the
+/// stream halves its effective partition size, but never below
+/// `min(initial_partition_size, PARTITION_FLOOR_BYTES)`.
+const PARTITION_FLOOR_BYTES: usize = 4096;
 
 /// Measurements for one streamed partition.
 #[derive(Debug, Clone)]
@@ -54,6 +61,15 @@ pub struct PartitionReport {
     /// Whether this partition exhausted its launch retries and was
     /// re-parsed from scratch on a fresh spawn-per-launch executor.
     pub relaunched: bool,
+    /// Launch attempts that were unwound by the deadline watchdog while
+    /// parsing this partition.
+    pub timeouts: u64,
+    /// Whether arena budget pressure observed after this partition caused
+    /// the stream to halve its effective partition size.
+    pub budget_degraded: bool,
+    /// The effective partition size in force after this partition (equal
+    /// to the requested size until budget pressure degrades it).
+    pub partition_size: usize,
 }
 
 /// The result of a streamed parse.
@@ -114,6 +130,85 @@ impl StreamedOutput {
     pub fn relaunched_partitions(&self) -> u64 {
         self.partitions.iter().filter(|p| p.relaunched).count() as u64
     }
+
+    /// Total launch attempts unwound by the deadline watchdog.
+    pub fn total_timeouts(&self) -> u64 {
+        self.partitions.iter().map(|p| p.timeouts).sum()
+    }
+
+    /// Number of partitions after which arena budget pressure halved the
+    /// effective partition size.
+    pub fn budget_degradations(&self) -> u64 {
+        self.partitions.iter().filter(|p| p.budget_degraded).count() as u64
+    }
+}
+
+/// The resume point of an interrupted stream: the last fully-emitted
+/// partition boundary plus the stream-global offsets needed to keep row
+/// indices and diagnostic byte offsets identical to an uninterrupted run.
+///
+/// A checkpoint only advances once the stream's schema is *fixed* — either
+/// configured explicitly or frozen from the first partition that produced
+/// rows. Before that point it stays at the stream start (replaying
+/// zero-row, fully-carried partitions is free and guarantees the resumed
+/// run infers the same schema an uninterrupted run would have).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Byte offset into the original input where the resumed run starts
+    /// reading (the first byte not yet covered by an emitted partition —
+    /// carry-over bytes are re-read from the input itself).
+    pub resume_offset: u64,
+    /// Rows emitted before this checkpoint; seeds the resumed run's
+    /// stream-global record indices for diagnostics.
+    pub rows_emitted: u64,
+    /// Partitions emitted before this checkpoint (informational).
+    pub partitions_emitted: u64,
+    /// The effective partition size in force at the checkpoint, so budget
+    /// degradations survive the restart.
+    pub partition_size: usize,
+    /// Whether the stream header was already consumed.
+    pub header_done: bool,
+    /// Column names captured from the header (when `header_done`).
+    pub header_names: Option<Vec<String>>,
+    /// The schema frozen from the first row-producing partition (`None`
+    /// when the parser was configured with an explicit schema, which the
+    /// resumed run re-reads from its own options).
+    pub schema: Option<Schema>,
+}
+
+/// A stream that stopped early — cancellation, an exhausted launch
+/// deadline, or a strict-policy memory-budget failure — carrying both the
+/// work already completed and the [`Checkpoint`] to resume from.
+///
+/// Boxed in results (`Result<_, Box<StreamInterrupted>>`) because it owns
+/// the completed partitions' table.
+#[derive(Debug)]
+pub struct StreamInterrupted {
+    /// Why the stream stopped.
+    pub error: ParseError,
+    /// Everything emitted before the interruption (tables, reports,
+    /// diagnostics — all stream-global, all final).
+    pub completed: StreamedOutput,
+    /// Where [`Parser::parse_stream_resumable`] should pick up.
+    pub checkpoint: Checkpoint,
+}
+
+impl std::fmt::Display for StreamInterrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stream interrupted after {} partition(s) ({} rows emitted): {}",
+            self.completed.partitions.len(),
+            self.checkpoint.rows_emitted,
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for StreamInterrupted {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
 }
 
 /// One-shot recovery parse on a fresh spawn-per-launch executor with *no*
@@ -127,8 +222,15 @@ fn relaunch_partition(
     has_more: bool,
 ) -> Result<(ParseOutput, usize), ParseError> {
     let workers = parser.options().grid.workers();
-    let recovery = KernelExecutor::new(Grid::with_mode(workers, LaunchMode::SpawnPerLaunch))
+    let mut recovery = KernelExecutor::new(Grid::with_mode(workers, LaunchMode::SpawnPerLaunch))
         .with_retry(parser.options().retry);
+    // The caller's cancel token still applies during recovery (a recovery
+    // parse must stay interruptible), but the deadline and the fault
+    // injector do not: the fresh spawn-per-launch executor exists to give
+    // the partition one clean, unharassed run.
+    if let Some(token) = parser.options().cancel.clone() {
+        recovery = recovery.with_cancel(token);
+    }
     parser.parse_with(&recovery, work, has_more)
 }
 
@@ -145,35 +247,97 @@ impl Parser {
         input: &[u8],
         partition_size: usize,
     ) -> Result<StreamedOutput, ParseError> {
-        let partition_size = partition_size.max(1);
+        self.parse_stream_resumable(input, partition_size, None)
+            .map_err(|i| i.error)
+    }
+
+    /// [`Parser::parse_stream`] with interruption and resume support.
+    ///
+    /// A stream stopped by a fired [`CancelToken`](parparaw_parallel::CancelToken),
+    /// an exhausted launch deadline, a strict-policy memory-budget
+    /// failure, or any other mid-stream error returns a boxed
+    /// [`StreamInterrupted`] holding the partitions already emitted plus a
+    /// [`Checkpoint`]. Calling this again with the *same input* and that
+    /// checkpoint parses exactly the remainder: concatenating the
+    /// completed and resumed tables (and diagnostics) is byte-identical to
+    /// an uninterrupted run.
+    ///
+    /// When a [`memory_budget`](crate::options::ParserOptions::memory_budget)
+    /// is configured, arena budget pressure halves the effective partition
+    /// size (down to a floor of `min(partition_size, 4096)` bytes) instead
+    /// of pooling past the cap; under
+    /// [`ErrorPolicy::Strict`](crate::options::ErrorPolicy::Strict),
+    /// pressure *at* the floor interrupts the stream with
+    /// [`ParseError::MemoryBudgetExceeded`].
+    pub fn parse_stream_resumable(
+        &self,
+        input: &[u8],
+        partition_size: usize,
+        resume: Option<Checkpoint>,
+    ) -> Result<StreamedOutput, Box<StreamInterrupted>> {
+        let initial_psize = partition_size.max(1);
         let t0 = Instant::now();
 
         // One executor for the whole stream: its worker pool persists
         // across partitions and its arena recycles the partition and work
         // buffers, so steady-state streaming does near-zero allocation.
-        // Retry policy and fault injection carry over from the options.
+        // Retry policy, fault injection, cancellation, deadline, and arena
+        // budget all carry over from the options.
         let exec = self.options().build_executor();
         let exec = &exec;
 
-        let num_partitions = input.len().div_ceil(partition_size).max(1);
+        // The effective partition size, shared with the transfer stage:
+        // halved under arena budget pressure, never below the floor. A
+        // resumed run starts at the checkpoint's (possibly degraded) size.
+        let start_psize = match &resume {
+            Some(c) => c.partition_size.max(1),
+            None => initial_psize,
+        };
+        let floor = initial_psize.min(PARTITION_FLOOR_BYTES);
+        let eff_psize = AtomicUsize::new(start_psize);
+        let eff_psize = &eff_psize;
+
+        let start_offset = match &resume {
+            Some(c) => (c.resume_offset as usize).min(input.len()),
+            None => 0,
+        };
+
         let (tx_raw, rx_raw) = sync_channel::<(Vec<u8>, bool)>(1);
         let (tx_out, rx_out) = sync_channel::<(Table, PartitionReport, u64)>(1);
 
-        let mut header_names_out: Option<Vec<String>> = None;
+        let mut header_names_out: Option<Vec<String>> =
+            resume.as_ref().and_then(|c| c.header_names.clone());
         let mut all_diags: Vec<RecordDiagnostic> = Vec::new();
         let mut dropped_diags = 0u64;
+        let mut checkpoint = match &resume {
+            Some(c) => c.clone(),
+            None => Checkpoint {
+                resume_offset: 0,
+                rows_emitted: 0,
+                partitions_emitted: 0,
+                partition_size: start_psize,
+                header_done: !self.options().header,
+                header_names: None,
+                schema: None,
+            },
+        };
 
         std::thread::scope(|s| {
             // Stage 1 — "transfer": copy raw partitions into owned buffers
             // (the host→device DMA stand-in). The capacity-1 channel plus
-            // the buffer being filled makes this a double buffer.
+            // the buffer being filled makes this a double buffer. The
+            // partition size is re-read each iteration so budget
+            // degradation applies to partitions not yet cut.
             s.spawn(move || {
-                for p in 0..num_partitions {
-                    let start = p * partition_size;
-                    let end = ((p + 1) * partition_size).min(input.len());
+                let mut pos = start_offset;
+                loop {
+                    let eff = eff_psize.load(Ordering::Relaxed).max(1);
+                    let end = (pos + eff).min(input.len());
                     let mut buf = exec.arena().take_u8("stream/partition");
-                    buf.extend_from_slice(&input[start..end]);
-                    if tx_raw.send((buf, p + 1 == num_partitions)).is_err() {
+                    buf.extend_from_slice(&input[pos..end]);
+                    pos = end;
+                    let is_last = pos >= input.len();
+                    if tx_raw.send((buf, is_last)).is_err() || is_last {
                         return;
                     }
                 }
@@ -196,17 +360,28 @@ impl Parser {
             // Stage 2 — parse with carry-over (this thread).
             let parse_result = (|| -> Result<(), ParseError> {
                 let mut carry: Vec<u8> = Vec::new();
-                let mut parser: Option<Parser> = None;
+                // A resumed run re-enters with the checkpoint's frozen
+                // schema; a fresh run freezes it from the first partition
+                // with rows.
+                let mut parser: Option<Parser> = checkpoint.schema.clone().map(|schema| {
+                    let mut opts = self.options().clone();
+                    opts.header = false;
+                    opts.schema = Some(schema);
+                    Parser::new(self.dfa().clone(), opts)
+                });
                 // Global positions for diagnostic remapping: rows emitted
                 // so far, and the input byte index that `work[0]` maps to
                 // (the carry is always the unprocessed tail, so the work
-                // buffer is contiguous in the original input).
-                let mut rows_so_far = 0u64;
-                let mut consumed = 0u64;
+                // buffer is contiguous in the original input). A resumed
+                // run seeds both from the checkpoint so its record indices
+                // and byte offsets stay stream-global.
+                let mut rows_so_far = checkpoint.rows_emitted;
+                let mut consumed = checkpoint.resume_offset;
                 // The stream's header is consumed once, up front; every
                 // partition then parses header-free.
-                let mut header_pending = self.options().header;
-                let base = if header_pending {
+                let mut header_pending = !checkpoint.header_done;
+                let mut last_pressure = exec.arena().pressure_events();
+                let base = if self.options().header {
                     let mut opts = self.options().clone();
                     opts.header = false;
                     Parser::new(self.dfa().clone(), opts)
@@ -245,10 +420,17 @@ impl Parser {
                     };
                     let tw = Instant::now();
                     let mut relaunched = false;
-                    let (mut failed_retries, mut failed_injected) = (0u64, 0u64);
+                    let (mut failed_retries, mut failed_injected, mut failed_timeouts) =
+                        (0u64, 0u64, 0u64);
                     let (out, carry_len): (ParseOutput, usize) =
                         match active.parse_with(exec, &work, !is_last) {
                             Ok(r) => r,
+                            Err(e) if e.is_cancelled() => {
+                                // A fired CancelToken is a caller decision,
+                                // not a fault: interrupt immediately, no
+                                // relaunch recovery.
+                                return Err(e);
+                            }
                             Err(ParseError::Launch(_)) => {
                                 // The failed run left its launch records
                                 // (including the exhausted attempts) in the
@@ -259,6 +441,7 @@ impl Parser {
                                 for r in exec.drain_log() {
                                     failed_retries += u64::from(r.attempts.saturating_sub(1));
                                     failed_injected += u64::from(r.injected_faults);
+                                    failed_timeouts += u64::from(r.timed_out_attempts);
                                 }
                                 relaunched = true;
                                 relaunch_partition(active, &work, !is_last)?
@@ -290,6 +473,29 @@ impl Parser {
 
                     carry.extend_from_slice(&work[work.len() - carry_len..]);
                     exec.arena().put_u8("stream/work", work);
+
+                    // Arena budget pressure since the last partition means
+                    // the pool refused to hold this partition's buffers:
+                    // halve the effective partition size for partitions not
+                    // yet cut instead of allocating past the cap. At the
+                    // floor the budget is advisory under the permissive
+                    // policy and fatal under Strict.
+                    let pressure_now = exec.arena().pressure_events();
+                    let mut budget_degraded = false;
+                    if pressure_now > last_pressure {
+                        last_pressure = pressure_now;
+                        let cur = eff_psize.load(Ordering::Relaxed);
+                        if cur > floor {
+                            eff_psize.store((cur / 2).max(floor), Ordering::Relaxed);
+                            budget_degraded = true;
+                        } else if matches!(base.options().error_policy, ErrorPolicy::Strict) {
+                            return Err(ParseError::MemoryBudgetExceeded {
+                                budget_bytes: base.options().memory_budget.unwrap_or(0),
+                                partition_size: cur,
+                            });
+                        }
+                    }
+
                     let report = PartitionReport {
                         input_bytes: raw_len,
                         carry_bytes,
@@ -301,10 +507,33 @@ impl Parser {
                         degraded_launches: out.timings.degraded_launches,
                         injected_faults: out.timings.injected_faults + failed_injected,
                         relaunched,
+                        timeouts: out.timings.timeouts + failed_timeouts,
+                        budget_degraded,
+                        partition_size: eff_psize.load(Ordering::Relaxed),
                     };
                     let rejected = out.stats.rejected_records;
                     if tx_out.send((out.table, report, rejected)).is_err() {
                         break;
+                    }
+
+                    // Advance the checkpoint only once the schema is fixed
+                    // (explicit, resumed, or frozen above): resuming before
+                    // that replays from the stream start so the resumed run
+                    // infers the same schema an uninterrupted run would.
+                    if base.options().schema.is_some() || parser.is_some() {
+                        checkpoint.resume_offset = consumed;
+                        checkpoint.rows_emitted = rows_so_far;
+                        checkpoint.partitions_emitted += 1;
+                        checkpoint.partition_size = eff_psize.load(Ordering::Relaxed);
+                        checkpoint.header_done = true;
+                        if checkpoint.header_names.is_none() {
+                            checkpoint.header_names = header_names_out.clone();
+                        }
+                        if checkpoint.schema.is_none() {
+                            if let Some(p) = &parser {
+                                checkpoint.schema = p.options().schema.clone();
+                            }
+                        }
                     }
                 }
                 drop(tx_out);
@@ -316,27 +545,36 @@ impl Parser {
             // Invariant: the collector only receives and accumulates —
             // no user code runs there, so a panic means a bug here.
             let (tables, reports, rejected) = collector.join().expect("collector panicked");
-            parse_result.map(|()| {
-                // Zero-row partitions (fully carried over) may predate the
-                // schema freeze; they contribute nothing, so drop them.
-                let refs: Vec<&Table> = tables.iter().filter(|t| t.num_rows() > 0).collect();
-                let mut table = if refs.is_empty() {
-                    tables.into_iter().next().unwrap_or_else(Table::empty)
-                } else {
-                    Table::concat(&refs).expect("partitions share the fixed schema")
-                };
-                if let (Some(names), None) = (&header_names_out, &self.options().schema) {
-                    table = table.renamed(names);
-                }
-                StreamedOutput {
-                    table,
-                    partitions: reports,
-                    rejected_records: rejected,
-                    diagnostics: std::mem::take(&mut all_diags),
-                    dropped_diagnostics: dropped_diags,
-                    wall: t0.elapsed(),
-                }
-            })
+
+            // Assemble whatever was emitted — the full stream on success,
+            // the completed prefix on interruption.
+            // Zero-row partitions (fully carried over) may predate the
+            // schema freeze; they contribute nothing, so drop them.
+            let refs: Vec<&Table> = tables.iter().filter(|t| t.num_rows() > 0).collect();
+            let mut table = if refs.is_empty() {
+                tables.into_iter().next().unwrap_or_else(Table::empty)
+            } else {
+                Table::concat(&refs).expect("partitions share the fixed schema")
+            };
+            if let (Some(names), None) = (&header_names_out, &self.options().schema) {
+                table = table.renamed(names);
+            }
+            let completed = StreamedOutput {
+                table,
+                partitions: reports,
+                rejected_records: rejected,
+                diagnostics: std::mem::take(&mut all_diags),
+                dropped_diagnostics: dropped_diags,
+                wall: t0.elapsed(),
+            };
+            match parse_result {
+                Ok(()) => Ok(completed),
+                Err(error) => Err(Box::new(StreamInterrupted {
+                    error,
+                    completed,
+                    checkpoint: checkpoint.clone(),
+                })),
+            }
         })
     }
 }
@@ -484,6 +722,144 @@ mod tests {
         let p = parser(None);
         let s = p.parse_stream(b"", 64).unwrap();
         assert_eq!(s.table.num_rows(), 0);
+    }
+
+    #[test]
+    fn cancelled_stream_resumes_byte_identical() {
+        use parparaw_parallel::CancelToken;
+        let input = make_input(200);
+        let p = parser(None);
+        let mono = p.parse(&input).unwrap();
+        // Fire the token a few partitions into the stream (each partition
+        // costs several launches), then resume without it.
+        for nth in [12u64, 30, 55] {
+            let mut o = p.options().clone();
+            o.cancel = Some(CancelToken::after_launches(nth));
+            let interrupted = Parser::new(p.dfa().clone(), o)
+                .parse_stream_resumable(&input, 256, None)
+                .unwrap_err();
+            assert!(interrupted.error.is_cancelled(), "nth={nth}");
+            let resumed = p
+                .parse_stream_resumable(&input, 256, Some(interrupted.checkpoint.clone()))
+                .unwrap();
+            let parts: Vec<&Table> = [&interrupted.completed.table, &resumed.table]
+                .into_iter()
+                .filter(|t| t.num_rows() > 0)
+                .collect();
+            let combined = Table::concat(&parts).unwrap();
+            assert_eq!(combined, mono.table, "nth={nth}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_stays_at_start_until_schema_freezes() {
+        use parparaw_parallel::CancelToken;
+        // A quoted field spanning every early partition: partitions carry
+        // fully over, no rows, no schema — the checkpoint must not move.
+        let input = b"a,\"long quoted value with, commas\nand newlines\",z\nb,c,d\n";
+        let p = parser(None);
+        let mut o = p.options().clone();
+        o.cancel = Some(CancelToken::after_launches(1));
+        let interrupted = Parser::new(p.dfa().clone(), o)
+            .parse_stream_resumable(input, 8, None)
+            .unwrap_err();
+        assert_eq!(interrupted.checkpoint.resume_offset, 0);
+        assert_eq!(interrupted.checkpoint.rows_emitted, 0);
+        assert!(interrupted.checkpoint.schema.is_none());
+        assert_eq!(interrupted.completed.table.num_rows(), 0);
+        let resumed = p
+            .parse_stream_resumable(input, 8, Some(interrupted.checkpoint))
+            .unwrap();
+        assert_eq!(resumed.table, p.parse_stream(input, 8).unwrap().table);
+    }
+
+    #[test]
+    fn resumed_diagnostics_stay_stream_global() {
+        use parparaw_parallel::CancelToken;
+        // A short record deep in the stream; interrupt before it, resume,
+        // and the diagnostic must carry the stream-global record index.
+        let mut s = String::new();
+        for i in 0..60 {
+            s.push_str(&format!("{i},{i},{i}\n"));
+        }
+        s.push_str("61,61\n");
+        for i in 62..70 {
+            s.push_str(&format!("{i},{i},{i}\n"));
+        }
+        let mut o = ParserOptions {
+            grid: Grid::new(2),
+            ..ParserOptions::default()
+        };
+        o.validate_column_count = true;
+        let p = Parser::new(rfc4180(&CsvDialect::default()), o);
+        let mut cancelled = p.options().clone();
+        cancelled.cancel = Some(CancelToken::after_launches(20));
+        let interrupted = Parser::new(p.dfa().clone(), cancelled)
+            .parse_stream_resumable(s.as_bytes(), 128, None)
+            .unwrap_err();
+        let resumed = p
+            .parse_stream_resumable(s.as_bytes(), 128, Some(interrupted.checkpoint))
+            .unwrap();
+        let mut diags = interrupted.completed.diagnostics;
+        diags.extend(resumed.diagnostics);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].record, 60, "record index must stay stream-global");
+    }
+
+    #[test]
+    fn budget_pressure_degrades_partition_size_to_floor() {
+        let input = make_input(4000);
+        let mut o = ParserOptions {
+            grid: Grid::new(2),
+            ..ParserOptions::default()
+        };
+        // A budget far too small for 16 KiB partitions: the stream must
+        // halve its way down to the 4 KiB floor instead of pooling past
+        // the cap.
+        o.memory_budget = Some(256);
+        let p = Parser::new(rfc4180(&CsvDialect::default()), o);
+        let streamed = p.parse_stream(&input, 16 * 1024).unwrap();
+        assert_eq!(
+            streamed.table,
+            parser(None).parse(&input).unwrap().table,
+            "degradation must not change output"
+        );
+        assert!(streamed.budget_degradations() >= 2);
+        let last = streamed.partitions.last().unwrap();
+        assert_eq!(last.partition_size, PARTITION_FLOOR_BYTES);
+    }
+
+    #[test]
+    fn strict_budget_at_floor_interrupts_with_typed_error() {
+        use crate::options::ErrorPolicy;
+        let input = make_input(200);
+        let mut o = ParserOptions {
+            grid: Grid::new(2),
+            ..ParserOptions::default()
+        }
+        .error_policy(ErrorPolicy::Strict);
+        o.memory_budget = Some(64);
+        let p = Parser::new(rfc4180(&CsvDialect::default()), o);
+        // partition_size == floor, so the first pressure event is fatal.
+        let interrupted = p.parse_stream_resumable(&input, 512, None).unwrap_err();
+        match interrupted.error {
+            ParseError::MemoryBudgetExceeded {
+                budget_bytes,
+                partition_size,
+            } => {
+                assert_eq!(budget_bytes, 64);
+                assert_eq!(partition_size, 512);
+            }
+            ref other => panic!("expected MemoryBudgetExceeded, got {other}"),
+        }
+        // The same stream under the default permissive policy completes.
+        let mut o = ParserOptions {
+            grid: Grid::new(2),
+            ..ParserOptions::default()
+        };
+        o.memory_budget = Some(64);
+        let p = Parser::new(rfc4180(&CsvDialect::default()), o);
+        assert!(p.parse_stream(&input, 512).is_ok());
     }
 
     #[test]

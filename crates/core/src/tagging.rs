@@ -318,6 +318,7 @@ pub fn tag_symbols(
                 let run_w = SlotWriter::new(&mut runs);
                 grid.run_partitioned(n_chunks, |_, range| {
                     for c in range {
+                        grid.check_abort(c);
                         let rt = want_rec_tags.then_some(&rt_w);
                         let fl = want_flags.then_some(&fl_w);
                         walk(

@@ -28,6 +28,12 @@ pub struct PhaseTimings {
     /// Faults injected by a configured
     /// [`FaultInjector`](parparaw_parallel::FaultInjector).
     pub injected_faults: u64,
+    /// Launch attempts expired by the watchdog (each unwound
+    /// cooperatively and, retry budget permitting, re-run).
+    pub timeouts: u64,
+    /// Launches aborted by a fired
+    /// [`CancelToken`](parparaw_parallel::CancelToken).
+    pub cancelled_launches: u64,
 }
 
 impl PhaseTimings {
@@ -47,6 +53,8 @@ impl PhaseTimings {
             t.retries += u64::from(r.attempts.saturating_sub(1));
             t.degraded_launches += u64::from(r.degraded);
             t.injected_faults += u64::from(r.injected_faults);
+            t.timeouts += u64::from(r.timed_out_attempts);
+            t.cancelled_launches += u64::from(r.cancelled);
         }
         t
     }

@@ -1,0 +1,363 @@
+//! Cooperative cancellation and launch deadlines.
+//!
+//! GPU kernels cannot be preempted mid-flight; runtimes bound them with
+//! *cooperative* abort flags polled at block granularity and a host-side
+//! watchdog that flags overrunning launches. This module is the CPU
+//! analogue for the ParPaRaw pipeline:
+//!
+//! * a [`CancelToken`] callers hand to the executor (via
+//!   `KernelExecutor::with_cancel`) and fire from any thread to abort a
+//!   parse mid-flight;
+//! * a per-attempt [`LaunchSignal`] the executor threads through the
+//!   [`Grid`](crate::grid::Grid), combining the user's token with a
+//!   watchdog-set deadline flag; kernels poll it at chunk granularity
+//!   through `Grid::check_abort`;
+//! * a [`Watchdog`] thread the executor arms once per launch attempt —
+//!   when the deadline passes it flips the signal's `expired` flag and
+//!   the next chunk-granularity poll unwinds the attempt.
+//!
+//! Aborting is implemented as a panic carrying the [`LaunchAborted`]
+//! sentinel: it rides the exact unwinding machinery the executor already
+//! uses for worker panics (caught at the launch boundary, pool survives),
+//! and the executor classifies the sentinel into
+//! `FailureKind::Cancelled` / `FailureKind::Timeout` instead of a plain
+//! panic. Kernels are idempotent, so a timed-out attempt can be retried
+//! while a cancelled one is surfaced immediately.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Sentinel panic payload used by [`LaunchSignal::poll`] to unwind an
+/// aborted launch attempt; the executor downcasts for it to tell a
+/// cooperative abort apart from a genuine kernel panic.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchAborted;
+
+#[derive(Debug, Default)]
+struct TokenInner {
+    cancelled: AtomicBool,
+    /// Remaining `note_launch` calls before the token self-fires;
+    /// `u64::MAX` disables the countdown (the normal, externally-fired
+    /// token).
+    countdown: AtomicU64,
+}
+
+/// A shareable flag that aborts in-flight parses cooperatively.
+///
+/// Clones share one flag. Kernels poll it (through the grid they were
+/// launched on) every few hundred chunks, so a fired token unwinds the
+/// current launch within a few kilobytes of further work; the executor
+/// reports the launch as `FailureKind::Cancelled` without retrying it.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                countdown: AtomicU64::new(u64::MAX),
+            }),
+        }
+    }
+
+    /// A token that fires itself once `n` launches have started — a
+    /// deterministic trigger for tests ("cancel mid-partition") that
+    /// doesn't depend on wall-clock timing. `n = 0` is already fired.
+    pub fn after_launches(n: u64) -> Self {
+        let token = CancelToken::new();
+        if n == 0 {
+            token.cancel();
+        } else {
+            token.inner.countdown.store(n, Ordering::Relaxed);
+        }
+        token
+    }
+
+    /// Fire the token. Idempotent; all clones observe it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Count one launch against an [`Self::after_launches`] countdown
+    /// (no-op for ordinary tokens). Called by the executor at the start
+    /// of every launch.
+    pub fn note_launch(&self) {
+        let prev = self
+            .inner
+            .countdown
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                if c == u64::MAX || c == 0 {
+                    None
+                } else {
+                    Some(c - 1)
+                }
+            });
+        if prev == Ok(1) {
+            self.cancel();
+        }
+    }
+}
+
+/// The per-attempt abort signal a launch runs under: the caller's
+/// [`CancelToken`] (if any) plus the watchdog's deadline flag.
+///
+/// The executor builds one per attempt (the `expired` flag must reset
+/// between retries) and hands kernels a grid clone carrying it; kernels
+/// poll through `Grid::check_abort`.
+#[derive(Debug)]
+pub struct LaunchSignal {
+    cancel: Option<CancelToken>,
+    expired: AtomicBool,
+}
+
+impl LaunchSignal {
+    /// A signal combining `cancel` (if any) with a not-yet-expired
+    /// deadline flag.
+    pub fn new(cancel: Option<CancelToken>) -> Self {
+        LaunchSignal {
+            cancel,
+            expired: AtomicBool::new(false),
+        }
+    }
+
+    /// Flip the deadline flag; the next kernel poll unwinds the attempt.
+    pub fn expire(&self) {
+        self.expired.store(true, Ordering::Release);
+    }
+
+    /// Whether the watchdog expired this attempt's deadline.
+    pub fn expired(&self) -> bool {
+        self.expired.load(Ordering::Acquire)
+    }
+
+    /// Whether the caller's token fired.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Whether the attempt should unwind (cancelled or expired).
+    pub fn should_abort(&self) -> bool {
+        self.expired() || self.cancelled()
+    }
+
+    /// Unwind with the [`LaunchAborted`] sentinel if the attempt should
+    /// abort; otherwise return normally. Kernels call this (via
+    /// `Grid::check_abort`) at chunk granularity.
+    pub fn poll(&self) {
+        if self.should_abort() {
+            std::panic::panic_any(LaunchAborted);
+        }
+    }
+}
+
+/// What the watchdog thread is currently timing: the armed attempt's
+/// signal and its absolute deadline, or `None` when idle.
+type ArmedJob = Option<(Arc<LaunchSignal>, Instant)>;
+
+#[derive(Default)]
+struct WatchdogState {
+    job: ArmedJob,
+    shutdown: bool,
+}
+
+/// A single deadline-enforcement thread shared by all launches of one
+/// executor.
+///
+/// The executor arms it with the current attempt's [`LaunchSignal`] and
+/// absolute deadline before running the job, and disarms it after the
+/// attempt returns. If the deadline passes first the watchdog calls
+/// [`LaunchSignal::expire`] and goes back to sleep — the *kernel* then
+/// unwinds itself at its next poll, keeping the abort cooperative (no
+/// thread is killed, the worker pool stays healthy).
+pub struct Watchdog {
+    state: Arc<(Mutex<WatchdogState>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Watchdog").finish_non_exhaustive()
+    }
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog::new()
+    }
+}
+
+impl Watchdog {
+    /// Spawn the watchdog thread (parked until the first [`Self::arm`]).
+    pub fn new() -> Self {
+        let state = Arc::new((Mutex::new(WatchdogState::default()), Condvar::new()));
+        let thread_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name("parparaw-watchdog".to_string())
+            .spawn(move || Watchdog::run(&thread_state))
+            .expect("spawn watchdog thread");
+        Watchdog {
+            state,
+            handle: Some(handle),
+        }
+    }
+
+    fn run(state: &(Mutex<WatchdogState>, Condvar)) {
+        let (lock, cv) = state;
+        let mut guard = lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if guard.shutdown {
+                return;
+            }
+            match guard.job.clone() {
+                None => {
+                    guard = cv
+                        .wait(guard)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                Some((signal, deadline)) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        signal.expire();
+                        guard.job = None;
+                    } else {
+                        guard = cv
+                            .wait_timeout(guard, deadline - now)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Arm the watchdog for one attempt: if `deadline` passes before
+    /// [`Self::disarm`], `signal` is expired.
+    pub fn arm(&self, signal: Arc<LaunchSignal>, deadline: Instant) {
+        let (lock, cv) = &*self.state;
+        lock.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .job = Some((signal, deadline));
+        cv.notify_one();
+    }
+
+    /// Disarm after an attempt returns (whether or not it expired).
+    pub fn disarm(&self) {
+        let (lock, cv) = &*self.state;
+        lock.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .job = None;
+        cv.notify_one();
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.state;
+        lock.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .shutdown = true;
+        cv.notify_one();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::time::Duration;
+
+    #[test]
+    fn token_fires_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn countdown_token_fires_after_n_launches() {
+        let t = CancelToken::after_launches(3);
+        t.note_launch();
+        t.note_launch();
+        assert!(!t.is_cancelled());
+        t.note_launch();
+        assert!(t.is_cancelled());
+        // Further launches keep it fired, no wraparound.
+        t.note_launch();
+        assert!(t.is_cancelled());
+        assert!(CancelToken::after_launches(0).is_cancelled());
+    }
+
+    #[test]
+    fn ordinary_token_ignores_note_launch() {
+        let t = CancelToken::new();
+        for _ in 0..1000 {
+            t.note_launch();
+        }
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn signal_polls_to_sentinel_panic() {
+        let token = CancelToken::new();
+        let sig = LaunchSignal::new(Some(token.clone()));
+        sig.poll(); // not fired: no unwind
+        token.cancel();
+        let payload = catch_unwind(AssertUnwindSafe(|| sig.poll())).unwrap_err();
+        assert!(payload.is::<LaunchAborted>());
+        assert!(sig.cancelled());
+        assert!(!sig.expired());
+    }
+
+    #[test]
+    fn watchdog_expires_overrunning_attempt() {
+        let dog = Watchdog::new();
+        let sig = Arc::new(LaunchSignal::new(None));
+        dog.arm(Arc::clone(&sig), Instant::now() + Duration::from_millis(5));
+        let start = Instant::now();
+        while !sig.expired() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "watchdog never fired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        dog.disarm();
+        assert!(sig.should_abort());
+    }
+
+    #[test]
+    fn watchdog_disarm_prevents_expiry() {
+        let dog = Watchdog::new();
+        let sig = Arc::new(LaunchSignal::new(None));
+        dog.arm(Arc::clone(&sig), Instant::now() + Duration::from_millis(40));
+        dog.disarm();
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(
+            !sig.expired(),
+            "disarmed watchdog must not expire the signal"
+        );
+    }
+}

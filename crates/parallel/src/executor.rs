@@ -29,6 +29,7 @@
 //! injected faults are recorded on each [`LaunchRecord`] so phase
 //! timings can expose them.
 
+use crate::cancel::{CancelToken, LaunchAborted, LaunchSignal, Watchdog};
 use crate::grid::{partition, Grid, LaunchMode};
 use crate::rng::SplitMix64;
 use std::any::Any;
@@ -36,8 +37,33 @@ use std::collections::HashMap;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Why a launch attempt (and ultimately a [`LaunchError`]) failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A worker job panicked (the payload text is in
+    /// [`LaunchError::message`]).
+    Panic,
+    /// The [`FaultInjector`] failed the attempt before the job ran.
+    Injected,
+    /// The watchdog expired the attempt's deadline and the kernel
+    /// unwound at its next chunk-granularity poll. Timeouts are retried
+    /// like panics — the degraded spawn-per-launch grid may clear a
+    /// wedged pool.
+    Timeout {
+        /// Wall milliseconds the attempt had run when it unwound (kept as
+        /// millis, not `Duration`, so `LaunchError` stays a small `Err`
+        /// variant).
+        elapsed_ms: u64,
+        /// The configured per-launch deadline in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The caller's [`CancelToken`] fired. Never retried: the caller
+    /// asked for the abort, so the error surfaces immediately.
+    Cancelled,
+}
 
 /// A launch that failed all its attempts, as a value instead of a panic.
 ///
@@ -58,6 +84,21 @@ pub struct LaunchError {
     /// The panic payload rendered as text (the original `panic!` message
     /// when it was a string), or a description of the injected fault.
     pub message: String,
+    /// Why the final attempt failed (earlier attempts may have failed
+    /// differently — e.g. two timeouts before a cancellation).
+    pub kind: FailureKind,
+}
+
+impl LaunchError {
+    /// Whether this error reports a fired [`CancelToken`].
+    pub fn is_cancelled(&self) -> bool {
+        self.kind == FailureKind::Cancelled
+    }
+
+    /// Whether this error reports an expired launch deadline.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self.kind, FailureKind::Timeout { .. })
+    }
 }
 
 impl std::fmt::Display for LaunchError {
@@ -73,6 +114,16 @@ impl std::fmt::Display for LaunchError {
                 write!(f, ", chunks {}..{}", r.start, r.end)?;
             }
             write!(f, ")")?;
+        }
+        if let FailureKind::Timeout {
+            elapsed_ms,
+            deadline_ms,
+        } = self.kind
+        {
+            write!(
+                f,
+                " [timeout: ran {elapsed_ms} ms against a {deadline_ms} ms deadline]"
+            )?;
         }
         write!(f, ": {}", self.message)
     }
@@ -126,18 +177,33 @@ impl RetryPolicy {
     }
 }
 
-/// Deterministically fails a fraction of launches for fault-tolerance
-/// testing.
+/// What a firing [`FaultInjector`] does to the launch attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Fail the attempt before the job body runs (the PR-2 behaviour):
+    /// exercises the retry/degradation ladder.
+    Panic,
+    /// Sleep for the given duration *inside* the launch window, after
+    /// the watchdog is armed but before the job body runs: exercises the
+    /// deadline/timeout ladder deterministically.
+    Stall(Duration),
+}
+
+/// Deterministically fails (or stalls) a fraction of launches for
+/// fault-tolerance testing.
 ///
 /// Each launch *attempt* draws one Bernoulli sample from a seeded
-/// [`SplitMix64`]; a firing injector fails the attempt before the job
-/// body runs, so no partial side effects occur and a later retry
-/// produces output byte-identical to a fault-free run. The draw sequence
-/// depends only on the seed and the order of launches, which the
-/// pipeline keeps deterministic.
+/// [`SplitMix64`]; a firing injector acts before the job body runs, so
+/// no partial side effects occur and a later retry produces output
+/// byte-identical to a clean run. In [`FaultMode::Panic`] the attempt
+/// fails outright; in [`FaultMode::Stall`] it sleeps inside the launch
+/// window, so with a deadline configured the watchdog sees a hung
+/// kernel. The draw sequence depends only on the seed and the order of
+/// launches, which the pipeline keeps deterministic.
 #[derive(Debug)]
 pub struct FaultInjector {
     rate: f64,
+    mode: FaultMode,
     rng: Mutex<SplitMix64>,
     injected: AtomicU64,
 }
@@ -145,8 +211,18 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// An injector failing `rate` (0.0–1.0) of launch attempts, seeded.
     pub fn new(seed: u64, rate: f64) -> Self {
+        FaultInjector::with_mode(seed, rate, FaultMode::Panic)
+    }
+
+    /// An injector stalling `rate` of launch attempts by `stall`, seeded.
+    pub fn stalls(seed: u64, rate: f64, stall: Duration) -> Self {
+        FaultInjector::with_mode(seed, rate, FaultMode::Stall(stall))
+    }
+
+    fn with_mode(seed: u64, rate: f64, mode: FaultMode) -> Self {
         FaultInjector {
             rate: rate.clamp(0.0, 1.0),
+            mode,
             rng: Mutex::new(SplitMix64::new(seed)),
             injected: AtomicU64::new(0),
         }
@@ -157,12 +233,17 @@ impl FaultInjector {
         self.rate
     }
 
-    /// Total faults injected so far.
+    /// What a firing roll does to the attempt.
+    pub fn mode(&self) -> FaultMode {
+        self.mode
+    }
+
+    /// Total faults injected so far (panics and stalls).
     pub fn injected(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
     }
 
-    /// Draw the next sample; `true` means "fail this attempt".
+    /// Draw the next sample; `true` means "fault this attempt".
     fn roll(&self) -> bool {
         // The rng mutex is only held for one draw, but survive poisoning
         // anyway: the generator state is valid at every point.
@@ -235,6 +316,11 @@ pub struct LaunchRecord {
     pub degraded: bool,
     /// Faults the [`FaultInjector`] fired against this launch.
     pub injected_faults: u32,
+    /// Attempts the watchdog expired (each unwound cooperatively and,
+    /// policy permitting, was retried).
+    pub timed_out_attempts: u32,
+    /// Whether the launch was aborted by a fired [`CancelToken`].
+    pub cancelled: bool,
     /// Whether the launch ultimately failed (a [`LaunchError`] was
     /// returned); failed launches still get a log entry so retries and
     /// faults stay observable.
@@ -263,6 +349,12 @@ pub struct KernelExecutor {
     fallback: OnceLock<Grid>,
     retry: RetryPolicy,
     fault: Option<FaultInjector>,
+    cancel: Option<CancelToken>,
+    deadline: Option<Duration>,
+    /// Deadline-enforcement thread, spawned on the first launch that
+    /// actually has a deadline; dropped (shut down and joined) with the
+    /// executor.
+    watchdog: OnceLock<Watchdog>,
     log: Mutex<Vec<LaunchRecord>>,
     arena: BufferArena,
 }
@@ -276,6 +368,9 @@ impl KernelExecutor {
             fallback: OnceLock::new(),
             retry: RetryPolicy::default(),
             fault: None,
+            cancel: None,
+            deadline: None,
+            watchdog: OnceLock::new(),
             log: Mutex::new(Vec::new()),
             arena: BufferArena::default(),
         }
@@ -291,6 +386,49 @@ impl KernelExecutor {
     pub fn with_fault_injection(mut self, seed: u64, rate: f64) -> Self {
         self.fault = Some(FaultInjector::new(seed, rate));
         self
+    }
+
+    /// Enable deterministic stall injection (builder style): `rate` of
+    /// launch attempts sleep for `stall` inside the launch window, which
+    /// with [`Self::with_deadline`] makes the watchdog path testable.
+    pub fn with_stall_injection(mut self, seed: u64, rate: f64, stall: Duration) -> Self {
+        self.fault = Some(FaultInjector::stalls(seed, rate, stall));
+        self
+    }
+
+    /// Attach a cancellation token (builder style): when it fires, the
+    /// current launch unwinds at its next chunk-granularity poll and
+    /// every subsequent launch fails immediately with
+    /// [`FailureKind::Cancelled`].
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Enforce a per-launch deadline (builder style): an attempt running
+    /// past it is expired by the watchdog thread, unwinds cooperatively,
+    /// and is retried per the [`RetryPolicy`] as
+    /// [`FailureKind::Timeout`].
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Cap the scratch arena's pooled bytes (builder style); see
+    /// [`BufferArena::set_budget`].
+    pub fn with_arena_budget(self, bytes: u64) -> Self {
+        self.arena.set_budget(Some(bytes));
+        self
+    }
+
+    /// The cancellation token, when one is attached.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// The per-launch deadline, when one is configured.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
     }
 
     /// The grid launches run on.
@@ -369,38 +507,95 @@ impl KernelExecutor {
     ) -> Result<R, LaunchError> {
         let max_attempts = self.retry.max_attempts.max(1);
         let degrade_after = self.retry.degrade_after.max(1);
+        if let Some(token) = &self.cancel {
+            token.note_launch();
+        }
         let start = Instant::now();
         let mut attempts = 0u32;
         let mut injected = 0u32;
+        let mut timed_out = 0u32;
+        let mut cancelled = false;
         let mut degraded = false;
         let mut last_error: Option<LaunchError> = None;
+        let make_error = |attempts: u32, kind: FailureKind, message: String| LaunchError {
+            label: label.to_string(),
+            attempts,
+            worker: None,
+            chunk_range: None,
+            message,
+            kind,
+        };
         let outcome = loop {
             attempts += 1;
+            // A fired token fails the launch before (and between) any
+            // attempts: the caller asked out, so no retry.
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                cancelled = true;
+                last_error = Some(make_error(
+                    attempts,
+                    FailureKind::Cancelled,
+                    "launch cancelled".to_string(),
+                ));
+                break None;
+            }
             let grid = if attempts > degrade_after && self.grid.mode() == LaunchMode::Persistent {
                 degraded = true;
                 self.fallback_grid()
             } else {
                 &self.grid
             };
+            let mut stall = None;
             if let Some(injector) = &self.fault {
                 if injector.roll() {
                     injected += 1;
-                    last_error = Some(LaunchError {
-                        label: label.to_string(),
-                        attempts,
-                        worker: None,
-                        chunk_range: None,
-                        message: "injected fault".to_string(),
-                    });
-                    if attempts >= max_attempts {
-                        break None;
+                    match injector.mode() {
+                        FaultMode::Panic => {
+                            last_error = Some(make_error(
+                                attempts,
+                                FailureKind::Injected,
+                                "injected fault".to_string(),
+                            ));
+                            if attempts >= max_attempts {
+                                break None;
+                            }
+                            continue;
+                        }
+                        FaultMode::Stall(d) => stall = Some(d),
                     }
-                    continue;
                 }
+            }
+            // Signals are per-attempt: the watchdog's expired flag must
+            // reset between retries. None when neither a token nor a
+            // deadline is configured, so the common path stays free of
+            // polling (the launched grid is the executor's own).
+            let signal = (self.cancel.is_some() || self.deadline.is_some())
+                .then(|| Arc::new(LaunchSignal::new(self.cancel.clone())));
+            let signal_grid;
+            let grid = match &signal {
+                Some(s) => {
+                    signal_grid = grid.with_signal(Arc::clone(s));
+                    &signal_grid
+                }
+                None => grid,
+            };
+            let attempt_start = Instant::now();
+            if let (Some(deadline), Some(signal)) = (self.deadline, &signal) {
+                self.watchdog
+                    .get_or_init(Watchdog::new)
+                    .arm(Arc::clone(signal), attempt_start + deadline);
+            }
+            // An injected stall sleeps *inside* the armed window, so a
+            // configured deadline sees it as a hung kernel.
+            if let Some(d) = stall {
+                std::thread::sleep(d);
             }
             let mut counters = LaunchCounters::default();
             grid.clear_last_panic();
-            match catch_unwind(AssertUnwindSafe(|| job(grid, &mut counters))) {
+            let attempt = catch_unwind(AssertUnwindSafe(|| job(grid, &mut counters)));
+            if let Some(dog) = self.watchdog.get() {
+                dog.disarm();
+            }
+            match attempt {
                 Ok(Some(out)) => break Some((out, counters)),
                 Ok(None) => {
                     // A `launch_once` job consumed by an earlier panic:
@@ -409,6 +604,33 @@ impl KernelExecutor {
                     break None;
                 }
                 Err(payload) => {
+                    let aborted = payload.is::<LaunchAborted>();
+                    let signal_cancelled = signal.as_ref().is_some_and(|s| s.cancelled());
+                    let signal_expired = signal.as_ref().is_some_and(|s| s.expired());
+                    if aborted && signal_cancelled {
+                        cancelled = true;
+                        last_error = Some(make_error(
+                            attempts,
+                            FailureKind::Cancelled,
+                            "launch cancelled".to_string(),
+                        ));
+                        break None;
+                    }
+                    if aborted && signal_expired {
+                        timed_out += 1;
+                        last_error = Some(make_error(
+                            attempts,
+                            FailureKind::Timeout {
+                                elapsed_ms: attempt_start.elapsed().as_millis() as u64,
+                                deadline_ms: self.deadline.unwrap_or_default().as_millis() as u64,
+                            },
+                            "launch deadline exceeded".to_string(),
+                        ));
+                        if attempts >= max_attempts {
+                            break None;
+                        }
+                        continue;
+                    }
                     let worker = grid.take_last_panic_worker();
                     let chunk_range =
                         worker.and_then(|w| partition(n_chunks, grid.workers()).get(w).cloned());
@@ -418,6 +640,7 @@ impl KernelExecutor {
                         worker,
                         chunk_range,
                         message: payload_message(payload.as_ref()),
+                        kind: FailureKind::Panic,
                     });
                     if attempts >= max_attempts {
                         break None;
@@ -429,12 +652,8 @@ impl KernelExecutor {
         let (result, counters) = match outcome {
             Some((out, counters)) => (Ok(out), counters),
             None => {
-                let mut err = last_error.unwrap_or_else(|| LaunchError {
-                    label: label.to_string(),
-                    attempts,
-                    worker: None,
-                    chunk_range: None,
-                    message: "launch failed".to_string(),
+                let mut err = last_error.unwrap_or_else(|| {
+                    make_error(attempts, FailureKind::Panic, "launch failed".to_string())
                 });
                 err.attempts = attempts;
                 (Err(err), LaunchCounters::default())
@@ -454,6 +673,8 @@ impl KernelExecutor {
             attempts,
             degraded,
             injected_faults: injected,
+            timed_out_attempts: timed_out,
+            cancelled,
             failed: result.is_err(),
         });
         result
@@ -493,7 +714,7 @@ macro_rules! arena_pool {
             match pool.get_mut(label).and_then(Vec::pop) {
                 Some(mut buf) => {
                     buf.clear();
-                    self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.note_take(buf.capacity() as u64 * std::mem::size_of::<$ty>() as u64);
                     buf
                 }
                 None => {
@@ -505,9 +726,13 @@ macro_rules! arena_pool {
         }
 
         /// Return a scratch buffer to the pool for `label` so a later
-        /// launch can reuse its allocation.
+        /// launch can reuse its allocation. Over-budget returns are
+        /// dropped instead of pooled (see [`BufferArena::set_budget`]).
         pub fn $put(&self, label: &str, buf: Vec<$ty>) {
             if buf.capacity() == 0 {
+                return;
+            }
+            if !self.note_put(buf.capacity() as u64 * std::mem::size_of::<$ty>() as u64) {
                 return;
             }
             self.$field
@@ -530,7 +755,12 @@ type ErasedPool = HashMap<std::any::TypeId, Vec<Box<dyn Any + Send>>>;
 /// "Putting" it back makes its allocation available to the next take
 /// under the same label. Buffers come back cleared but with capacity
 /// retained, which is the entire point.
-#[derive(Default)]
+///
+/// An optional **budget** ([`BufferArena::set_budget`]) caps the bytes
+/// the arena will retain: a put that would push the pooled total past
+/// the cap is dropped (freeing the allocation) and counted as a
+/// *pressure event*, which the streaming path reads to shrink its
+/// partition size instead of allocating past the cap.
 pub struct BufferArena {
     u8s: Mutex<HashMap<String, Vec<Vec<u8>>>>,
     u16s: Mutex<HashMap<String, Vec<Vec<u16>>>>,
@@ -542,6 +772,31 @@ pub struct BufferArena {
     anys: Mutex<HashMap<String, ErasedPool>>,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
+    /// Pooled-byte cap; `u64::MAX` means unlimited (the default).
+    budget: AtomicU64,
+    /// Bytes currently resident in the pools (capacity, not length).
+    pooled_bytes: AtomicU64,
+    /// Times a put was dropped because pooling it would exceed the
+    /// budget. Cumulative — callers watching for pressure (the streaming
+    /// degradation path) diff successive reads.
+    pressure_events: AtomicU64,
+}
+
+impl Default for BufferArena {
+    fn default() -> Self {
+        BufferArena {
+            u8s: Mutex::default(),
+            u16s: Mutex::default(),
+            u32s: Mutex::default(),
+            u64s: Mutex::default(),
+            anys: Mutex::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            budget: AtomicU64::new(u64::MAX),
+            pooled_bytes: AtomicU64::new(0),
+            pressure_events: AtomicU64::new(0),
+        }
+    }
 }
 
 impl std::fmt::Debug for BufferArena {
@@ -577,7 +832,7 @@ impl BufferArena {
                 // Invariant: this slot only ever holds `Vec<T>` (TypeId key).
                 let mut buf = *boxed.downcast::<Vec<T>>().expect("pool keyed by TypeId");
                 buf.clear();
-                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.note_take(buf.capacity() as u64 * std::mem::size_of::<T>() as u64);
                 buf
             }
             None => {
@@ -589,8 +844,13 @@ impl BufferArena {
     }
 
     /// Return a scratch `Vec<T>` to the type-erased pool for `label`.
+    /// Over-budget returns are dropped instead of pooled (see
+    /// [`BufferArena::set_budget`]).
     pub fn put_vec<T: Send + 'static>(&self, label: &str, buf: Vec<T>) {
         if buf.capacity() == 0 {
+            return;
+        }
+        if !self.note_put(buf.capacity() as u64 * std::mem::size_of::<T>() as u64) {
             return;
         }
         self.anys
@@ -603,6 +863,64 @@ impl BufferArena {
             .push(Box::new(buf));
     }
 
+    /// Record a pool hit handing out `bytes` of pooled capacity.
+    fn note_take(&self, bytes: u64) {
+        self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Saturating: budgets can be installed while buffers are out.
+        let _ = self
+            .pooled_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                Some(b.saturating_sub(bytes))
+            });
+    }
+
+    /// Account a put of `bytes`; returns whether the buffer may be
+    /// pooled (`false` = over budget: drop it and count the pressure).
+    fn note_put(&self, bytes: u64) -> bool {
+        let budget = self.budget.load(Ordering::Relaxed);
+        let pooled = self.pooled_bytes.load(Ordering::Relaxed);
+        if pooled.saturating_add(bytes) > budget {
+            self.pressure_events.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        self.pooled_bytes.fetch_add(bytes, Ordering::Relaxed);
+        true
+    }
+
+    /// Budget-capped arena (builder style); see
+    /// [`BufferArena::set_budget`].
+    pub fn with_budget(self, bytes: u64) -> Self {
+        self.set_budget(Some(bytes));
+        self
+    }
+
+    /// Cap (or uncap, with `None`) the bytes of buffer capacity the
+    /// arena retains. Takes and the budget check count *capacity*, the
+    /// allocation actually held. Already-pooled buffers are not evicted;
+    /// the cap bites as buffers come back.
+    pub fn set_budget(&self, bytes: Option<u64>) {
+        self.budget
+            .store(bytes.unwrap_or(u64::MAX), Ordering::Relaxed);
+    }
+
+    /// The configured budget, when one is set.
+    pub fn budget(&self) -> Option<u64> {
+        match self.budget.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            b => Some(b),
+        }
+    }
+
+    /// Bytes of buffer capacity currently pooled.
+    pub fn pooled_bytes(&self) -> u64 {
+        self.pooled_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative count of puts dropped for exceeding the budget.
+    pub fn pressure_events(&self) -> u64 {
+        self.pressure_events.load(Ordering::Relaxed)
+    }
+
     /// `(hits, misses)`: how many takes reused a pooled buffer vs had to
     /// allocate fresh. Used by tests and the steady-state-streaming bench.
     pub fn stats(&self) -> (u64, u64) {
@@ -610,6 +928,15 @@ impl BufferArena {
             self.hits.load(std::sync::atomic::Ordering::Relaxed),
             self.misses.load(std::sync::atomic::Ordering::Relaxed),
         )
+    }
+
+    /// Zero the hit/miss counters so per-run reports start from a known
+    /// state. Called by the pipeline wherever the launch log is drained;
+    /// pooled buffers, the budget, and the cumulative pressure counter
+    /// are untouched.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, std::sync::atomic::Ordering::Relaxed);
+        self.misses.store(0, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -832,5 +1159,193 @@ mod tests {
         assert_eq!(arena.take_u64("x").capacity(), 0);
         let (hits, _) = arena.stats();
         assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn arena_reset_stats_zeroes_counters_only() {
+        let arena = BufferArena::default();
+        let buf = arena.take_u8("a"); // miss
+        arena.put_u8("a", {
+            let mut b = buf;
+            b.push(1);
+            b
+        });
+        let _ = arena.take_u8("a"); // hit
+        assert_ne!(arena.stats(), (0, 0));
+        arena.reset_stats();
+        assert_eq!(arena.stats(), (0, 0));
+        // The pooled allocation survived the reset... nothing pooled now
+        // (the hit take still holds it), but a put still pools fine.
+        arena.put_u8("a", vec![1, 2, 3]);
+        assert_eq!(arena.stats(), (0, 0), "puts don't count");
+        assert_eq!(arena.take_u8("a").capacity(), 3);
+    }
+
+    #[test]
+    fn arena_budget_drops_oversized_puts_and_counts_pressure() {
+        let arena = BufferArena::default().with_budget(64);
+        arena.put_u8("big", Vec::with_capacity(100));
+        assert_eq!(arena.pressure_events(), 1, "over-budget put is dropped");
+        assert_eq!(arena.pooled_bytes(), 0);
+        assert_eq!(arena.take_u8("big").capacity(), 0, "nothing was pooled");
+
+        arena.put_u8("small", Vec::with_capacity(40));
+        assert_eq!(arena.pooled_bytes(), 40);
+        // A second buffer that would exceed the cap is dropped; u32 puts
+        // count 4 bytes per element against the same budget.
+        arena.put_u32("small32", Vec::with_capacity(10));
+        assert_eq!(arena.pressure_events(), 2);
+        // Taking the pooled buffer releases its bytes again.
+        assert_eq!(arena.take_u8("small").capacity(), 40);
+        assert_eq!(arena.pooled_bytes(), 0);
+        arena.put_u32("small32", Vec::with_capacity(10));
+        assert_eq!(arena.pooled_bytes(), 40);
+    }
+
+    #[test]
+    fn cancelled_token_fails_launch_without_running_job() {
+        let token = CancelToken::new();
+        token.cancel();
+        let exec = KernelExecutor::new(Grid::new(2))
+            .with_retry(RetryPolicy::attempts(5))
+            .with_cancel(token);
+        let err = exec.launch("test/cancel", 4, |_, _| 1).unwrap_err();
+        assert!(err.is_cancelled());
+        assert_eq!(err.attempts, 1, "cancellation is never retried");
+        let log = exec.drain_log();
+        assert!(log[0].cancelled);
+        assert!(log[0].failed);
+    }
+
+    #[test]
+    fn token_fired_mid_kernel_unwinds_cooperatively() {
+        let token = CancelToken::new();
+        let exec = KernelExecutor::new(Grid::new(2)).with_cancel(token.clone());
+        let err = exec
+            .launch("test/mid", 10_000, |grid, _| {
+                grid.map_indexed(10_000, |i| {
+                    if i == 300 {
+                        token.cancel();
+                    }
+                    i as u64
+                })
+            })
+            .unwrap_err();
+        assert!(err.is_cancelled());
+        // The executor (and its pool) survives; later launches on a
+        // fresh executor sharing nothing still run.
+        let exec2 = KernelExecutor::new(Grid::new(2));
+        assert_eq!(exec2.launch("test/ok", 1, |_, _| 5).unwrap(), 5);
+    }
+
+    #[test]
+    fn countdown_token_fires_at_exact_launch() {
+        let token = CancelToken::after_launches(3);
+        let exec = KernelExecutor::new(Grid::new(1)).with_cancel(token);
+        assert!(exec.launch("test/1", 1, |_, _| ()).is_ok());
+        assert!(exec.launch("test/2", 1, |_, _| ()).is_ok());
+        let err = exec.launch("test/3", 1, |_, _| ()).unwrap_err();
+        assert!(err.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_times_out_hung_kernel_and_retry_recovers() {
+        use std::sync::atomic::AtomicU32;
+        let exec = KernelExecutor::new(Grid::new(1))
+            .with_retry(RetryPolicy::attempts(3))
+            .with_deadline(Duration::from_millis(10));
+        let tries = AtomicU32::new(0);
+        let out = exec
+            .launch("test/hung", 1024, |grid, _| {
+                let first = tries.fetch_add(1, Ordering::Relaxed) == 0;
+                grid.map_indexed(1024, |i| {
+                    if first && i == 100 {
+                        // Hang only the first attempt, between polls; the
+                        // poll at the next 256-chunk boundary unwinds it.
+                        std::thread::sleep(Duration::from_millis(60));
+                    }
+                    i as u32
+                })
+                .len()
+            })
+            .unwrap();
+        assert_eq!(out, 1024);
+        let log = exec.drain_log();
+        assert!(log[0].timed_out_attempts >= 1, "first attempt timed out");
+        assert!(log[0].attempts >= 2);
+        assert!(!log[0].failed);
+    }
+
+    #[test]
+    fn deadline_exhausts_attempts_into_timeout_error() {
+        let exec = KernelExecutor::new(Grid::new(1))
+            .with_retry(RetryPolicy::attempts(2))
+            .with_deadline(Duration::from_millis(5));
+        let err = exec
+            .launch("test/always-hung", 512, |grid, _| {
+                grid.map_indexed(512, |i| {
+                    if i == 0 {
+                        std::thread::sleep(Duration::from_millis(40));
+                    }
+                    i
+                })
+                .len()
+            })
+            .unwrap_err();
+        assert!(err.is_timeout());
+        assert_eq!(err.attempts, 2);
+        match err.kind {
+            FailureKind::Timeout {
+                elapsed_ms,
+                deadline_ms,
+            } => {
+                assert_eq!(deadline_ms, 5);
+                assert!(elapsed_ms >= deadline_ms);
+            }
+            k => panic!("wrong kind {k:?}"),
+        }
+        assert!(err.to_string().contains("timeout"), "{err}");
+        let log = exec.drain_log();
+        assert_eq!(log[0].timed_out_attempts, 2);
+    }
+
+    #[test]
+    fn stall_injection_is_deterministic_and_watchdog_recovers_it() {
+        let run = |seed: u64| {
+            let exec = KernelExecutor::new(Grid::new(2))
+                .with_retry(RetryPolicy::attempts(8))
+                .with_deadline(Duration::from_millis(5))
+                .with_stall_injection(seed, 0.4, Duration::from_millis(20));
+            let mut outs = Vec::new();
+            for i in 0..10u64 {
+                outs.push(
+                    exec.launch("test/stall", 512, |grid, _| {
+                        grid.map_indexed(512, |j| j as u64).len() as u64 + i
+                    })
+                    .unwrap(),
+                );
+            }
+            let log = exec.drain_log();
+            let timeouts: u32 = log.iter().map(|r| r.timed_out_attempts).sum();
+            (outs, timeouts)
+        };
+        let (a, ta) = run(1234);
+        let (b, tb) = run(1234);
+        assert_eq!(a, b, "same seed, same outcomes");
+        assert_eq!(ta, tb, "same seed, same timeout positions");
+        assert!(ta > 0, "a 40% stall injector over 10 launches must fire");
+        let want: Vec<u64> = (0..10).map(|i| 512 + i).collect();
+        assert_eq!(a, want, "timeouts + retries are invisible in the output");
+    }
+
+    #[test]
+    fn no_token_no_deadline_means_no_signal_grid() {
+        // The hot path must hand kernels the executor's own grid (no
+        // per-attempt clone) when no recovery feature is configured.
+        let exec = KernelExecutor::new(Grid::new(1));
+        exec.launch("test/plain", 1, |grid, _| {
+            grid.check_abort(0); // must be a no-op
+        })
+        .unwrap();
     }
 }

@@ -14,6 +14,7 @@
 //! legacy behaviour of spawning fresh OS threads on every launch is kept
 //! behind [`LaunchMode::SpawnPerLaunch`] as a measurable baseline.
 
+use crate::cancel::LaunchSignal;
 use crate::pool::{WorkerPool, NO_PANIC};
 use std::any::Any;
 use std::ops::Range;
@@ -51,6 +52,10 @@ pub struct Grid {
     /// best-effort under concurrency — a diagnostic, not a correctness
     /// channel.
     last_panic: Arc<AtomicUsize>,
+    /// Abort signal for the launch this grid clone was handed to, set by
+    /// the executor only when a cancel token or deadline is configured —
+    /// `None` (the default) keeps the hot path free of any polling.
+    signal: Option<Arc<LaunchSignal>>,
 }
 
 impl std::fmt::Debug for Grid {
@@ -76,6 +81,37 @@ impl Grid {
             mode,
             pool: Arc::new(OnceLock::new()),
             last_panic: Arc::new(AtomicUsize::new(NO_PANIC)),
+            signal: None,
+        }
+    }
+
+    /// A clone of this grid carrying `signal`: kernels launched on it
+    /// observe cancellation/deadline aborts through
+    /// [`Grid::check_abort`]. Shares the clone's pool, so no threads are
+    /// re-created.
+    pub fn with_signal(&self, signal: Arc<LaunchSignal>) -> Self {
+        Grid {
+            signal: Some(signal),
+            ..self.clone()
+        }
+    }
+
+    /// Poll the launch's abort signal at chunk granularity.
+    ///
+    /// Kernels call this with their loop index; every 256th index (plus
+    /// index 0) checks the signal and unwinds the attempt with the
+    /// [`LaunchAborted`](crate::cancel::LaunchAborted) sentinel when the
+    /// token fired or the deadline expired. With no signal configured
+    /// (the default) this is a single predictable branch. The grid's own
+    /// loops ([`Grid::map_indexed`], [`Grid::run_dynamic`]) poll
+    /// automatically; kernels with hand-rolled `run_partitioned` loops
+    /// call it explicitly.
+    #[inline]
+    pub fn check_abort(&self, i: usize) {
+        if let Some(signal) = &self.signal {
+            if i & 0xFF == 0 {
+                signal.poll();
+            }
         }
     }
 
@@ -205,6 +241,7 @@ impl Grid {
         if self.workers == 1 {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
                 for i in 0..n {
+                    self.check_abort(i);
                     f(i);
                 }
             })) {
@@ -219,6 +256,7 @@ impl Grid {
             if start >= n {
                 break;
             }
+            self.check_abort(0);
             let end = (start + block).min(n);
             for i in start..end {
                 f(i);
@@ -243,6 +281,7 @@ impl Grid {
             let slots = SlotWriter::new(&mut out);
             self.run_partitioned(n, |_, range| {
                 for i in range {
+                    self.check_abort(i);
                     // SAFETY: disjoint ranges per worker; each index is
                     // written exactly once.
                     unsafe { slots.write(i, f(i)) };

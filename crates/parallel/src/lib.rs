@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod bitmap;
+pub mod cancel;
 pub mod executor;
 pub mod grid;
 pub mod histogram;
@@ -53,9 +54,10 @@ pub mod rng;
 pub mod scan;
 
 pub use bitmap::{AtomicBitmap, Bitmap};
+pub use cancel::{CancelToken, LaunchAborted, LaunchSignal, Watchdog};
 pub use executor::{
-    BufferArena, FaultInjector, KernelExecutor, LaunchCounters, LaunchError, LaunchRecord,
-    RetryPolicy,
+    BufferArena, FailureKind, FaultInjector, FaultMode, KernelExecutor, LaunchCounters,
+    LaunchError, LaunchRecord, RetryPolicy,
 };
 pub use grid::{default_launch_mode, Grid, LaunchMode};
 pub use rng::SplitMix64;

@@ -200,6 +200,7 @@ fn partition_pass_digits<V>(
         grid.run_partitioned(n, |w, range| {
             let mut cursors = starts[w].clone();
             for i in range {
+                grid.check_abort(i);
                 let d = digits[i] as usize;
                 let dst = cursors[d] as usize;
                 cursors[d] += 1;

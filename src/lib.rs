@@ -34,10 +34,11 @@ pub use parparaw_workloads as workloads;
 pub mod prelude {
     pub use parparaw_columnar::{Column, DataType, Field, Schema, Table, Value};
     pub use parparaw_core::{
-        parse_csv, ErrorPolicy, FaultInjection, ParseError, ParseOutput, Parser, ParserOptions,
-        PartitionKernel, RecordDiagnostic, RejectReason, TaggingMode,
+        parse_csv, Checkpoint, ErrorPolicy, FaultInjection, ParseError, ParseOutput, Parser,
+        ParserOptions, PartitionKernel, RecordDiagnostic, RejectReason, StreamInterrupted,
+        TaggingMode,
     };
     pub use parparaw_dfa::csv::{rfc4180, CsvDialect};
     pub use parparaw_dfa::{Dfa, DfaBuilder};
-    pub use parparaw_parallel::Grid;
+    pub use parparaw_parallel::{CancelToken, Grid};
 }

@@ -16,7 +16,7 @@ fn base_opts() -> ParserOptions {
 
 fn faulty_opts(seed: u64) -> ParserOptions {
     let mut o = base_opts().retry(RetryPolicy::attempts(8));
-    o.fault_injection = Some(FaultInjection { seed, rate: 0.2 });
+    o.fault_injection = Some(FaultInjection::new(seed, 0.2));
     o
 }
 
@@ -76,6 +76,178 @@ fn partition_iterator_survives_injected_faults() {
     let batches: Vec<Table> = p.partitions(&input, 256).collect::<Result<_, _>>().unwrap();
     let total: usize = batches.iter().map(|b| b.num_rows()).sum();
     assert_eq!(total, 200);
+}
+
+#[test]
+fn deadline_timeouts_recover_with_unchanged_output() {
+    use std::time::Duration;
+    let input = make_input(300);
+    let dfa = rfc4180(&CsvDialect::default());
+    let clean = Parser::new(dfa.clone(), base_opts()).parse(&input).unwrap();
+    // Stall-mode injection hangs 25% of launches for 30 ms against a
+    // 10 ms deadline: the watchdog unwinds each stalled attempt and the
+    // retry ladder recovers it.
+    let mut o = base_opts()
+        .retry(RetryPolicy::attempts(8))
+        .launch_deadline(Duration::from_millis(10));
+    o.fault_injection = Some(FaultInjection::stalls(
+        0xD00D_0001,
+        0.25,
+        Duration::from_millis(30),
+    ));
+    let out = Parser::new(dfa, o).parse(&input).unwrap();
+    assert_eq!(out.table, clean.table, "timeouts must not change output");
+    assert!(
+        out.timings.timeouts > 0,
+        "a 25% stall injector against a 3x-shorter deadline must time out"
+    );
+    assert!(out.timings.retries >= out.timings.timeouts);
+}
+
+#[test]
+fn stall_timeout_degrade_and_resume_is_byte_identical() {
+    use std::time::Duration;
+    // The full recovery gauntlet, per tagging mode: launches stall and
+    // time out, arena budget pressure degrades the partition size, a
+    // cancel token interrupts the stream mid-flight, and the resumed run
+    // must still produce byte-identical output.
+    let input = make_input(2000);
+    let dfa = rfc4180(&CsvDialect::default());
+    for tagging in [
+        TaggingMode::RecordTagged,
+        TaggingMode::inline_default(),
+        TaggingMode::VectorDelimited,
+    ] {
+        let mut clean_o = base_opts();
+        clean_o.tagging = tagging;
+        let clean = Parser::new(dfa.clone(), clean_o.clone())
+            .parse_stream(&input, 16 * 1024)
+            .unwrap();
+
+        let mut o = clean_o
+            .retry(RetryPolicy::attempts(8))
+            .launch_deadline(Duration::from_millis(10))
+            .memory_budget(512);
+        o.fault_injection = Some(FaultInjection::stalls(
+            0xD00D_0002,
+            0.2,
+            Duration::from_millis(30),
+        ));
+        let faulty = Parser::new(dfa.clone(), o.clone())
+            .parse_stream(&input, 16 * 1024)
+            .unwrap();
+        assert_eq!(
+            faulty.table, clean.table,
+            "tagging {tagging:?}: recovery must not change output"
+        );
+        assert!(faulty.total_timeouts() > 0, "tagging {tagging:?}");
+        assert!(faulty.budget_degradations() > 0, "tagging {tagging:?}");
+
+        // Same gauntlet, now also cancelled mid-stream; the checkpoint
+        // resumes it (without the fired token).
+        let mut oc = o.clone();
+        oc.cancel = Some(CancelToken::after_launches(40));
+        let interrupted = Parser::new(dfa.clone(), oc)
+            .parse_stream_resumable(&input, 16 * 1024, None)
+            .unwrap_err();
+        assert!(interrupted.error.is_cancelled(), "tagging {tagging:?}");
+        let resumed = Parser::new(dfa.clone(), o)
+            .parse_stream_resumable(&input, 16 * 1024, Some(interrupted.checkpoint))
+            .unwrap();
+        let parts: Vec<&Table> = [&interrupted.completed.table, &resumed.table]
+            .into_iter()
+            .filter(|t| t.num_rows() > 0)
+            .collect();
+        assert_eq!(
+            Table::concat(&parts).unwrap(),
+            clean.table,
+            "tagging {tagging:?}: resumed stream must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn stall_matrix_from_env_recovers() {
+    use std::time::Duration;
+    // CI drives this with PARPARAW_STALL_RATE (and PARPARAW_LAUNCH_MODE
+    // picked up by Grid); locally it runs at a light default rate.
+    let rate: f64 = std::env::var("PARPARAW_STALL_RATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.1);
+    let input = make_input(500);
+    let dfa = rfc4180(&CsvDialect::default());
+    let clean = Parser::new(dfa.clone(), base_opts())
+        .parse_stream(&input, 1024)
+        .unwrap();
+    let mut o = base_opts()
+        .retry(RetryPolicy::attempts(8))
+        .launch_deadline(Duration::from_millis(8));
+    o.fault_injection = Some(FaultInjection::stalls(
+        0x57A1_1000,
+        rate,
+        Duration::from_millis(20),
+    ));
+    let out = Parser::new(dfa, o).parse_stream(&input, 1024).unwrap();
+    assert_eq!(out.table, clean.table, "rate {rate}");
+}
+
+#[test]
+fn strict_budget_floor_is_a_typed_parse_error() {
+    let input = make_input(300);
+    let mut o = base_opts().error_policy(ErrorPolicy::Strict);
+    o.memory_budget = Some(64);
+    // 512-byte partitions sit at the degradation floor already, so the
+    // first pressure event must surface as a typed error, not an abort.
+    let err = Parser::new(rfc4180(&CsvDialect::default()), o)
+        .parse_stream(&input, 512)
+        .unwrap_err();
+    match err {
+        ParseError::MemoryBudgetExceeded {
+            budget_bytes,
+            partition_size,
+        } => {
+            assert_eq!(budget_bytes, 64);
+            assert_eq!(partition_size, 512);
+        }
+        other => panic!("expected MemoryBudgetExceeded, got {other}"),
+    }
+}
+
+#[test]
+fn cancel_mid_stream_resumes_across_tagging_modes() {
+    let input = make_input(400);
+    let dfa = rfc4180(&CsvDialect::default());
+    for tagging in [
+        TaggingMode::RecordTagged,
+        TaggingMode::inline_default(),
+        TaggingMode::VectorDelimited,
+    ] {
+        let mut clean_o = base_opts();
+        clean_o.tagging = tagging;
+        let p = Parser::new(dfa.clone(), clean_o.clone());
+        let clean = p.parse_stream(&input, 512).unwrap();
+        for nth in [5u64, 25, 60] {
+            let mut o = clean_o.clone();
+            o.cancel = Some(CancelToken::after_launches(nth));
+            let interrupted = Parser::new(dfa.clone(), o)
+                .parse_stream_resumable(&input, 512, None)
+                .unwrap_err();
+            assert!(interrupted.error.is_cancelled(), "{tagging:?} nth={nth}");
+            let resumed = p
+                .parse_stream_resumable(&input, 512, Some(interrupted.checkpoint))
+                .unwrap();
+            let parts: Vec<&Table> = [&interrupted.completed.table, &resumed.table]
+                .into_iter()
+                .filter(|t| t.num_rows() > 0)
+                .collect();
+            assert_eq!(
+                Table::concat(&parts).unwrap(),
+                clean.table,
+                "{tagging:?} nth={nth}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -56,10 +56,7 @@ fn random_options(rng: &mut SplitMix64) -> ParserOptions {
         o.max_rejects = Some(rng.next_below(4));
     }
     if rng.chance(0.3) {
-        o.fault_injection = Some(FaultInjection {
-            seed: rng.next_u64(),
-            rate: 0.15,
-        });
+        o.fault_injection = Some(FaultInjection::new(rng.next_u64(), 0.15));
         o = o.retry(parparaw::parallel::RetryPolicy::attempts(8));
     }
     o
@@ -96,6 +93,31 @@ fn fuzz_smoke_never_panics() {
                     "seed={seed} case={cases} psize={psize} input={:?}",
                     String::from_utf8_lossy(&input)
                 );
+            }
+        }
+
+        // Cancellation at a random launch: any typed outcome is fine, and
+        // a cancelled stream must resume from its checkpoint to the same
+        // total row count as the monolithic parse.
+        if rng.chance(0.25) {
+            let psize = rng.next_range(1, 128) as usize;
+            let mut oc = opts.clone();
+            oc.cancel = Some(CancelToken::after_launches(rng.next_range(1, 80)));
+            let cancelled = Parser::new(rfc4180(&CsvDialect::default()), oc)
+                .parse_stream_resumable(&input, psize, None);
+            if let Err(interrupted) = cancelled {
+                if interrupted.error.is_cancelled() {
+                    let resumed =
+                        parser.parse_stream_resumable(&input, psize, Some(interrupted.checkpoint));
+                    if let (Ok(m), Ok(r)) = (&mono, &resumed) {
+                        assert_eq!(
+                            m.table.num_rows(),
+                            interrupted.completed.table.num_rows() + r.table.num_rows(),
+                            "seed={seed} case={cases} psize={psize} cancel-resume input={:?}",
+                            String::from_utf8_lossy(&input)
+                        );
+                    }
+                }
             }
         }
 
